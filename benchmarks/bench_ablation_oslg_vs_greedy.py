@@ -1,0 +1,27 @@
+"""Benchmark (ablation): OSLG sampling versus the exact Locally Greedy pass."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.ablations import run_oslg_vs_greedy
+
+
+def test_ablation_oslg_vs_exact_locally_greedy(benchmark, bench_scale, save_table):
+    rows, table = run_once(
+        benchmark,
+        run_oslg_vs_greedy,
+        dataset_key="ml1m",
+        arec_name="psvd100",
+        sample_sizes=(50, 150, 300),
+        scale=bench_scale,
+        seed=0,
+    )
+    save_table("ablation_oslg_vs_greedy", table.to_text())
+    assert len(rows) == 4
+    exact = rows[0]
+    assert exact.configuration.startswith("LocallyGreedy")
+    # Sampling trades a bounded amount of coverage for the reduced sequential cost.
+    for row in rows[1:]:
+        assert row.report.coverage <= exact.report.coverage + 1e-9
+        assert row.report.coverage >= 0.25 * exact.report.coverage

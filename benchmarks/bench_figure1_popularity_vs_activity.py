@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 1 (avg rated-item popularity vs user activity)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.figure1 import run_figure1
+
+
+def test_figure1_popularity_vs_activity(benchmark, bench_scale, save_table):
+    curves, table = run_once(benchmark, run_figure1, scale=bench_scale, n_bins=10, seed=0)
+    save_table("figure1_popularity_vs_activity", table.to_text())
+    assert len(curves) == 5
+    # The paper's motivating trend: on most datasets the curve decreases.
+    decreasing = sum(curve.is_decreasing_overall() for curve in curves)
+    assert decreasing >= 3

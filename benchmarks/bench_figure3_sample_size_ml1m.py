@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 3 (OSLG sample-size sweep on the ML-1M surrogate)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.figure3_4 import run_figure3
+
+
+def test_figure3_sample_size_sweep_ml1m(benchmark, bench_scale, save_table):
+    points, table = run_once(
+        benchmark,
+        run_figure3,
+        sample_sizes=(50, 150, 300),
+        accuracy_recommenders=("psvd100", "psvd10", "pop", "rsvd"),
+        scale=bench_scale,
+        seed=0,
+    )
+    save_table("figure3_sample_size_ml1m", table.to_text())
+    assert len(points) == 12
+    # Coverage grows with the sample size for each accuracy recommender.
+    by_model: dict[str, dict[int, float]] = {}
+    for point in points:
+        by_model.setdefault(point.accuracy_recommender, {})[point.sample_size] = point.coverage
+    for coverages in by_model.values():
+        assert coverages[300] >= coverages[50] - 1e-9

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 4 (OSLG sample-size sweep on the MT-200K surrogate)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.figure3_4 import run_figure4
+
+
+def test_figure4_sample_size_sweep_mt200k(benchmark, bench_scale, save_table):
+    points, table = run_once(
+        benchmark,
+        run_figure4,
+        sample_sizes=(50, 150, 300),
+        accuracy_recommenders=("psvd100", "psvd10", "pop", "rsvd"),
+        scale=bench_scale,
+        seed=0,
+    )
+    save_table("figure4_sample_size_mt200k", table.to_text())
+    assert len(points) == 12
+    for point in points:
+        assert 0.0 <= point.f_measure <= 1.0
+        assert 0.0 < point.coverage <= 1.0

@@ -1,0 +1,44 @@
+"""Benchmark: regenerate Figure 5 (preference models x accuracy recommenders x N)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.figure5 import informed_vs_uninformed_gap, run_figure5
+
+
+def test_figure5_preference_model_interplay(benchmark, bench_scale, bench_sample_size, save_table):
+    cells, table = run_once(
+        benchmark,
+        run_figure5,
+        dataset_key="ml1m",
+        accuracy_recommenders=("rsvd", "psvd100", "psvd10", "pop"),
+        preference_models=("thetaN", "thetaT", "thetaG", "thetaR", "thetaC"),
+        n_values=(5, 10),
+        sample_size=bench_sample_size,
+        scale=bench_scale,
+        seed=0,
+    )
+    save_table("figure5_preference_models", table.to_text())
+    # 4 ARecs x 2 N values x (1 reference + 5 preference models) = 48 cells.
+    assert len(cells) == 48
+
+    # The bare accuracy recommender achieves the best F-measure in each panel.
+    for arec in ("rsvd", "psvd100", "psvd10", "pop"):
+        for n in (5, 10):
+            panel = [c for c in cells if c.accuracy_recommender == arec and c.n == n]
+            reference = next(c for c in panel if c.preference == "ARec")
+            assert all(
+                reference.report.f_measure >= c.report.f_measure - 1e-9
+                for c in panel
+                if c.preference != "ARec"
+            )
+
+    # GANC variants improve coverage over the bare recommender in every panel.
+    for arec in ("rsvd", "psvd100", "psvd10", "pop"):
+        panel = [c for c in cells if c.accuracy_recommender == arec and c.n == 5]
+        reference = next(c for c in panel if c.preference == "ARec")
+        ganc_best_coverage = max(
+            c.report.coverage for c in panel if c.preference != "ARec"
+        )
+        assert ganc_best_coverage >= reference.report.coverage - 1e-9

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 6 (accuracy vs coverage vs novelty scatter)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.figure6 import run_figure6
+
+
+def test_figure6_accuracy_coverage_novelty(benchmark, bench_scale, bench_sample_size, save_table):
+    points, table = run_once(
+        benchmark,
+        run_figure6,
+        scale=bench_scale,
+        sample_size=bench_sample_size,
+        seed=0,
+    )
+    save_table("figure6_tradeoffs", table.to_text())
+    datasets = {p.dataset for p in points}
+    assert len(datasets) == 5
+
+    for dataset in datasets:
+        subset = {p.algorithm: p for p in points if p.dataset == dataset}
+        # Rand is the coverage extreme, Pop the accuracy extreme (low coverage).
+        assert subset["rand"].coverage > subset["pop"].coverage
+        assert subset["pop"].f_measure >= subset["rand"].f_measure
+        # The GANC(ARec, thetaG, Dyn) arrow head gains coverage over Pop.
+        ganc_dyn = next(
+            p for name, p in subset.items() if name.startswith("GANC(") and name.endswith("Dyn)")
+        )
+        assert ganc_dyn.coverage > subset["pop"].coverage

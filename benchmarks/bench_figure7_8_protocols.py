@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figures 7-8 (ranking-protocol comparison, appendix C)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.figure7_8 import protocol_accuracy_inflation, run_figure7_8
+
+
+def test_figure7_8_ranking_protocols(benchmark, bench_scale, save_table):
+    points, table = run_once(
+        benchmark,
+        run_figure7_8,
+        datasets=("ml100k", "ml1m"),
+        algorithms=("rand", "pop", "rsvd", "rsvdn", "cofir100", "psvd10", "psvd100"),
+        scale=bench_scale,
+        seed=0,
+    )
+    save_table("figure7_8_protocols", table.to_text())
+    # 2 datasets x 7 algorithms x 2 protocols.
+    assert len(points) == 28
+    # The appendix's headline: the rated-test-items protocol inflates measured
+    # accuracy and deflates long-tail accuracy.
+    assert protocol_accuracy_inflation(points, metric="precision") > 0.0
+    assert protocol_accuracy_inflation(points, metric="lt_accuracy") <= 0.05

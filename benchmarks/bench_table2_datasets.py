@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table II (dataset statistics) for all five datasets."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.table2 import run_table2
+
+
+def test_table2_dataset_statistics(benchmark, bench_scale, save_table):
+    table = run_once(benchmark, run_table2, scale=bench_scale, seed=0)
+    save_table("table2_dataset_statistics", table.to_text())
+    assert len(table.rows) == 5
+    densities = dict(zip(table.column("Dataset"), table.column("d%")))
+    # The dense/sparse ordering of the paper's Table II must hold.
+    assert densities["ML-100K"] > densities["ML-10M"]
+    assert densities["ML-1M"] > densities["MT-200K"]

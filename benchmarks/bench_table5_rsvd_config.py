@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Table V (RSVD / RSVDN hyper-parameter selection)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.table5 import run_table5
+
+
+def test_table5_rsvd_hyperparameters(benchmark, bench_scale, save_table):
+    points, table = run_once(
+        benchmark,
+        run_table5,
+        datasets=["ml100k", "ml1m", "mt200k"],
+        factors=(8, 20),
+        regs=(0.01, 0.05),
+        learning_rates=(0.02,),
+        scale=bench_scale,
+        seed=0,
+    )
+    save_table("table5_rsvd_config", table.to_text())
+    # 3 datasets x 2 models x 2 factors x 2 regs x 1 lr grid points.
+    assert len(points) == 24
+    # 3 datasets x 2 models selected rows.
+    assert len(table.rows) == 6
+    assert all(p.validation_rmse < 3.0 for p in points)

@@ -1,0 +1,62 @@
+"""Shared configuration of the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures via the
+:mod:`repro.experiments` modules, at a laptop-friendly scale controlled by the
+``REPRO_BENCH_SCALE`` environment variable (default 0.35).  The rendered
+table of each experiment is written to ``benchmarks/output/`` so the artefacts
+that correspond to the paper's numbers can be inspected after a run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+#: Scale factor applied to the surrogate datasets in every benchmark.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.35"))
+#: OSLG sample size used by the GANC benchmarks (clipped to the user count).
+BENCH_SAMPLE_SIZE = int(os.environ.get("REPRO_BENCH_SAMPLE_SIZE", "150"))
+
+_OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    """Scale factor for the surrogate datasets."""
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_sample_size() -> int:
+    """OSLG sample size for the GANC benchmarks."""
+    return BENCH_SAMPLE_SIZE
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    """Directory the rendered experiment tables are written to."""
+    _OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    return _OUTPUT_DIR
+
+
+@pytest.fixture()
+def save_table(output_dir):
+    """Return a callable that persists a rendered experiment table."""
+
+    def _save(name: str, text: str) -> Path:
+        path = output_dir / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        return path
+
+    return _save
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic and relatively heavy, so a single round
+    gives a meaningful wall-clock figure without multiplying the runtime.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,91 @@
+"""Beyond-accuracy analysis: novelty, personalization and list diversity.
+
+The paper evaluates accuracy, novelty (LTAccuracy, stratified recall) and
+coverage (Coverage, Gini).  Related work adds a few more lenses — expected
+popularity complement, average recommendation popularity, personalization and
+intra-list dissimilarity — which this example computes for a panel of models,
+including the user/item KNN baselines that ship with the library.
+
+    python examples/beyond_accuracy_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    GANC,
+    GANCConfig,
+    DynamicCoverage,
+    GeneralizedPreference,
+    ItemKNN,
+    MostPopular,
+    PureSVD,
+    RandomRecommender,
+    make_dataset,
+    split_ratings,
+)
+from repro.metrics.beyond import (
+    average_recommendation_popularity,
+    expected_popularity_complement,
+    intra_list_dissimilarity,
+    personalization,
+)
+from repro.recommenders.user_knn import UserKNN
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    dataset = make_dataset("ml100k", scale=0.5)
+    split = split_ratings(dataset, train_ratio=0.5, seed=0)
+    train = split.train
+    popularity = train.item_popularity()
+
+    models = {
+        "Pop": MostPopular(),
+        "Rand": RandomRecommender(seed=0),
+        "ItemKNN": ItemKNN(k=30),
+        "UserKNN": UserKNN(k=30),
+        "PureSVD": PureSVD(n_factors=30),
+    }
+    collections: dict[str, dict] = {}
+    for name, model in models.items():
+        model.fit(train)
+        collections[name] = model.recommend_all(5).as_dict()
+
+    ganc = GANC(
+        PureSVD(n_factors=30),
+        GeneralizedPreference(),
+        DynamicCoverage(),
+        config=GANCConfig(sample_size=150, seed=0),
+    )
+    ganc.fit(train)
+    collections[ganc.template] = ganc.recommend_all(5).as_dict()
+
+    rows = []
+    for name, recs in collections.items():
+        rows.append(
+            [
+                name,
+                expected_popularity_complement(recs, popularity),
+                average_recommendation_popularity(recs, popularity),
+                personalization(recs, max_pairs=2000),
+                intra_list_dissimilarity(recs, train),
+            ]
+        )
+    print(
+        format_table(
+            ["Algorithm", "EPC (novelty)", "Avg rec popularity", "Personalization", "Intra-list dissim."],
+            rows,
+            title="Beyond-accuracy profile of top-5 recommendations",
+        )
+    )
+    print()
+    print(
+        "Reading: Pop minimizes novelty and personalization by construction; the GANC\n"
+        "variant pushes both novelty (high EPC, low average popularity) and\n"
+        "personalization up, which is the behaviour the paper's coverage objective\n"
+        "is designed to produce."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Compare GANC against the published re-ranking baselines on one dataset.
+
+Reproduces a single-dataset slice of the paper's Table IV: every re-ranker
+post-processes the same trained RSVD model and is scored on the full Table III
+metric suite, including the per-algorithm average rank.
+
+    python examples/compare_rerankers.py [dataset-key]
+
+where ``dataset-key`` is one of ml100k, ml1m, ml10m, mt200k, netflix
+(default: ml100k).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.table4 import run_table4_for_dataset
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    dataset_key = sys.argv[1] if len(sys.argv) > 1 else "ml100k"
+    rows = run_table4_for_dataset(dataset_key, scale=0.4, sample_size=200, seed=0)
+
+    table_rows = []
+    for row in sorted(rows, key=lambda r: r.average_rank):
+        table_rows.append(
+            [
+                row.algorithm,
+                row.report.f_measure,
+                row.report.stratified_recall,
+                row.report.lt_accuracy,
+                row.report.coverage,
+                row.report.gini,
+                round(row.average_rank, 2),
+            ]
+        )
+    print(
+        format_table(
+            ["Algorithm", "F@5", "S@5", "L@5", "C@5", "G@5", "AvgRank"],
+            table_rows,
+            title=f"Re-ranking comparison on {rows[0].dataset} (sorted by average rank)",
+        )
+    )
+    print()
+    print(
+        "Lower average rank is better.  The GANC variants trade a controlled amount\n"
+        "of accuracy for large coverage gains, which is what pushes their average\n"
+        "rank below the other re-rankers — the paper's Table IV conclusion."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,133 @@
+"""Extending GANC with a custom long-tail preference model.
+
+GANC is generic in all three of its components.  This example shows the
+extension point the paper leaves open for future work — user novelty
+preferences driven by other signals — by implementing a custom
+:class:`~repro.preferences.base.PreferenceModel` and plugging it into the
+framework next to the built-in estimators.
+
+    python examples/custom_preference_model.py
+
+The custom model blends the rating-variance of a user's history with their
+long-tail fraction: users who both rate diversely *and* already explore the
+tail get the highest novelty budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    GANC,
+    GANCConfig,
+    DynamicCoverage,
+    Evaluator,
+    GeneralizedPreference,
+    PureSVD,
+    TfidfPreference,
+    make_dataset,
+    split_ratings,
+)
+from repro.data.dataset import RatingDataset
+from repro.data.popularity import PopularityStats
+from repro.preferences.base import PreferenceModel, PreferenceResult
+from repro.utils.normalization import min_max_normalize
+from repro.utils.tables import format_table
+
+
+class VarianceBlendPreference(PreferenceModel):
+    """Blend of rating variance and long-tail fraction.
+
+    The intuition: a user whose ratings are spread across the scale is
+    discriminating rather than rubber-stamping blockbusters, and a user who
+    already rates tail items has demonstrated appetite for discovery.  The
+    blend weight ``alpha`` controls how much the variance signal contributes.
+    """
+
+    name = "variance_blend"
+
+    def __init__(self, alpha: float = 0.5) -> None:
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+        self.alpha = float(alpha)
+
+    def estimate(
+        self,
+        train: RatingDataset,
+        *,
+        popularity: PopularityStats | None = None,
+    ) -> PreferenceResult:
+        stats = self._popularity(train, popularity)
+        n_users = train.n_users
+
+        counts = np.bincount(train.user_indices, minlength=n_users).astype(float)
+        sums = np.bincount(train.user_indices, weights=train.ratings, minlength=n_users)
+        sq_sums = np.bincount(
+            train.user_indices, weights=train.ratings**2, minlength=n_users
+        )
+        rated = counts > 0
+        means = np.zeros(n_users)
+        means[rated] = sums[rated] / counts[rated]
+        variances = np.zeros(n_users)
+        variances[rated] = sq_sums[rated] / counts[rated] - means[rated] ** 2
+
+        tail_hits = np.bincount(
+            train.user_indices,
+            weights=stats.long_tail_mask[train.item_indices].astype(float),
+            minlength=n_users,
+        )
+        tail_fraction = np.zeros(n_users)
+        tail_fraction[rated] = tail_hits[rated] / counts[rated]
+
+        theta = self.alpha * min_max_normalize(variances) + (1 - self.alpha) * tail_fraction
+        return PreferenceResult(theta=np.clip(theta, 0.0, 1.0), model_name=self.name)
+
+
+def main() -> None:
+    dataset = make_dataset("ml100k", scale=0.5)
+    split = split_ratings(dataset, train_ratio=0.5, seed=0)
+    evaluator = Evaluator(split, n=5)
+
+    arec = PureSVD(n_factors=30).fit(split.train)
+    preference_models = {
+        "thetaT (built-in)": TfidfPreference(),
+        "thetaG (built-in)": GeneralizedPreference(),
+        "variance blend (custom)": VarianceBlendPreference(alpha=0.6),
+    }
+
+    rows = []
+    for label, preference in preference_models.items():
+        model = GANC(
+            arec,
+            preference,
+            DynamicCoverage(),
+            config=GANCConfig(sample_size=150, seed=0),
+        )
+        model.fit(split.train)
+        run = evaluator.evaluate_recommendations(model.recommend_all(5), algorithm=label)
+        rows.append(
+            [
+                label,
+                run.report.f_measure,
+                run.report.lt_accuracy,
+                run.report.coverage,
+                float(model.theta.mean()),
+            ]
+        )
+
+    print(
+        format_table(
+            ["Preference model", "F-measure@5", "LTAccuracy@5", "Coverage@5", "mean theta"],
+            rows,
+            title="GANC(PureSVD, theta, Dyn) with built-in and custom preference models",
+        )
+    )
+    print()
+    print(
+        "Any object implementing PreferenceModel.estimate() can drive the framework;\n"
+        "the custom estimator needs no changes to GANC itself."
+    )
+
+
+if __name__ == "__main__":
+    main()

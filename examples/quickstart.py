@@ -1,0 +1,92 @@
+"""Quickstart: build GANC on a MovieLens-like dataset and inspect the trade-off.
+
+Runs in a few seconds on a laptop:
+
+    python examples/quickstart.py
+
+Steps
+-----
+1. Generate a popularity-biased synthetic dataset shaped like ML-100K
+   (swap in ``load_movielens_100k("path/to/u.data")`` if you have the real file).
+2. Split it per user with the paper's κ = 0.5 protocol.
+3. Estimate every user's long-tail novelty preference θG from the train data.
+4. Assemble GANC(PureSVD, θG, Dyn) and produce top-5 sets for every user.
+5. Compare its accuracy / novelty / coverage profile against the bare
+   accuracy recommender and the Pop baseline.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    GANC,
+    GANCConfig,
+    DynamicCoverage,
+    Evaluator,
+    GeneralizedPreference,
+    MostPopular,
+    PureSVD,
+    make_dataset,
+    split_ratings,
+)
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    # 1. Data: an ML-100K-shaped synthetic dataset (use the loaders for real files).
+    dataset = make_dataset("ml100k", scale=0.5)
+    print(f"Dataset: {dataset}")
+
+    # 2. Per-user ratio split (kappa = 0.5, as in the paper's MovieLens setup).
+    split = split_ratings(dataset, train_ratio=0.5, seed=0)
+    evaluator = Evaluator(split, n=5)
+
+    # 3. + 4. GANC(PureSVD, thetaG, Dyn) with OSLG optimization.
+    preference = GeneralizedPreference()
+    ganc = GANC(
+        PureSVD(n_factors=30),
+        preference,
+        DynamicCoverage(),
+        config=GANCConfig(sample_size=150, seed=0),
+    )
+    ganc.fit(split.train)
+    ganc_run = evaluator.evaluate_recommendations(ganc.recommend_all(5), algorithm=ganc.template)
+
+    # 5. Reference points: the bare accuracy recommender and Pop.
+    psvd_run = evaluator.evaluate_recommender(PureSVD(n_factors=30), algorithm="PureSVD")
+    pop_run = evaluator.evaluate_recommender(MostPopular(), algorithm="Pop")
+
+    rows = []
+    for run in (pop_run, psvd_run, ganc_run):
+        report = run.report
+        rows.append(
+            [
+                run.algorithm,
+                report.f_measure,
+                report.lt_accuracy,
+                report.coverage,
+                report.gini,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["Algorithm", "F-measure@5", "LTAccuracy@5", "Coverage@5", "Gini@5"],
+            rows,
+            title="Accuracy / novelty / coverage trade-off (top-5)",
+        )
+    )
+    print()
+    theta = ganc.theta
+    print(
+        "Estimated long-tail preference thetaG: "
+        f"mean={theta.mean():.3f}, std={theta.std():.3f}, "
+        f"min={theta.min():.3f}, max={theta.max():.3f}"
+    )
+    print(
+        "Reading: GANC keeps accuracy in the same order of magnitude as its "
+        "accuracy recommender while covering a much larger share of the catalogue."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Running the pipeline on the real MovieLens files (when available).
+
+The reproduction ships with statistically matched synthetic surrogates, but
+every loader for the original files is implemented.  Point this script at a
+MovieLens download to run the exact pipeline of the paper on real data:
+
+    python examples/real_movielens_data.py /path/to/ml-100k/u.data
+    python examples/real_movielens_data.py /path/to/ml-1m/ratings.dat
+
+The file format is auto-detected from the extension / delimiter.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro import (
+    GANC,
+    GANCConfig,
+    DynamicCoverage,
+    Evaluator,
+    GeneralizedPreference,
+    PureSVD,
+    split_ratings,
+)
+from repro.data.loaders import load_movielens_100k, load_movielens_dat
+from repro.utils.tables import format_table
+
+
+def load(path: Path):
+    """Pick the right MovieLens loader from the file name."""
+    if path.suffix == ".dat" or "::" in path.read_text(encoding="utf-8", errors="replace")[:200]:
+        return load_movielens_dat(path, name=path.parent.name or "MovieLens")
+    return load_movielens_100k(path, name=path.parent.name or "ML-100K")
+
+
+def main() -> None:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        print("No data file supplied - nothing to do.")
+        return
+    path = Path(sys.argv[1])
+    if not path.exists():
+        raise SystemExit(f"rating file not found: {path}")
+
+    dataset = load(path)
+    print(f"Loaded {dataset}")
+    split = split_ratings(dataset, train_ratio=0.5, seed=0)
+    evaluator = Evaluator(split, n=5)
+
+    model = GANC(
+        PureSVD(n_factors=100),
+        GeneralizedPreference(),
+        DynamicCoverage(),
+        config=GANCConfig(sample_size=500, seed=0),
+    )
+    model.fit(split.train)
+    ganc_run = evaluator.evaluate_recommendations(model.recommend_all(5), algorithm=model.template)
+    base_run = evaluator.evaluate_recommender(PureSVD(n_factors=100), algorithm="PSVD100")
+
+    rows = [
+        [run.algorithm, run.report.f_measure, run.report.lt_accuracy, run.report.coverage, run.report.gini]
+        for run in (base_run, ganc_run)
+    ]
+    print(
+        format_table(
+            ["Algorithm", "F-measure@5", "LTAccuracy@5", "Coverage@5", "Gini@5"],
+            rows,
+            title=f"Top-5 results on {dataset.name}",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

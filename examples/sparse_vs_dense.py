@@ -1,0 +1,92 @@
+"""Sparse versus dense settings: choosing the accuracy recommender (Section V-B).
+
+The paper's key practical message is that re-ranking frameworks inherit the
+weaknesses of their base model: a rating-prediction model (RSVD) works in
+dense settings but falls apart when the data is sparse, while GANC — being
+generic — simply plugs in a more suitable accuracy recommender (Pop on the
+very sparse MovieTweetings data, PureSVD elsewhere).
+
+    python examples/sparse_vs_dense.py
+
+The script evaluates GANC with two different accuracy recommenders on a dense
+(ML-1M-like) and a sparse (MT-200K-like) surrogate and prints the comparison.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    GANC,
+    GANCConfig,
+    DynamicCoverage,
+    Evaluator,
+    GeneralizedPreference,
+    MostPopular,
+    PureSVD,
+    RSVD,
+    make_dataset,
+    split_ratings,
+)
+from repro.utils.tables import format_table
+
+
+def evaluate_on(profile: str, train_ratio: float, scale: float = 0.4) -> list[list[object]]:
+    """Evaluate GANC with three accuracy recommenders on one dataset profile."""
+    dataset = make_dataset(profile, scale=scale)
+    split = split_ratings(dataset, train_ratio=train_ratio, seed=0)
+    evaluator = Evaluator(split, n=5)
+    preference = GeneralizedPreference().estimate(split.train)
+
+    accuracy_recommenders = {
+        "RSVD": RSVD(n_factors=20, n_epochs=30, learning_rate=0.02, seed=0),
+        "PureSVD": PureSVD(n_factors=max(10, int(30 * scale))),
+        "Pop": MostPopular(),
+    }
+    rows: list[list[object]] = []
+    for name, arec in accuracy_recommenders.items():
+        model = GANC(
+            arec,
+            preference,
+            DynamicCoverage(),
+            config=GANCConfig(sample_size=150, seed=0),
+        )
+        model.fit(split.train)
+        run = evaluator.evaluate_recommendations(
+            model.recommend_all(5), algorithm=f"GANC({name}, thetaG, Dyn)"
+        )
+        rows.append(
+            [
+                dataset.name,
+                run.algorithm,
+                run.report.f_measure,
+                run.report.stratified_recall,
+                run.report.coverage,
+            ]
+        )
+    return rows
+
+
+def main() -> None:
+    rows: list[list[object]] = []
+    # Dense setting: ML-1M-like surrogate, kappa = 0.5.
+    rows.extend(evaluate_on("ml1m", train_ratio=0.5))
+    # Sparse setting: MT-200K-like surrogate, kappa = 0.8, many infrequent users.
+    rows.extend(evaluate_on("mt200k", train_ratio=0.8))
+
+    print(
+        format_table(
+            ["Dataset", "Algorithm", "F-measure@5", "StratRecall@5", "Coverage@5"],
+            rows,
+            title="GANC with different accuracy recommenders, dense vs sparse",
+        )
+    )
+    print()
+    print(
+        "Reading: in the dense setting the latent-factor accuracy recommenders are\n"
+        "competitive, while in the sparse setting the non-personalized Pop model\n"
+        "becomes the strongest accuracy component — exactly the paper's argument for\n"
+        "a generic framework that lets you swap the base recommender per dataset."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without PEP 517 build isolation.
+
+The canonical project metadata lives in ``pyproject.toml``; this file only
+enables ``pip install -e . --no-use-pep517`` on offline machines that lack the
+``wheel`` package required by editable PEP 660 builds.
+"""
+
+from setuptools import setup
+
+setup()

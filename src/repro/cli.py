@@ -1,0 +1,282 @@
+"""Command-line interface for the GANC reproduction.
+
+Exposes the experiment harness and the core pipeline without writing Python:
+
+.. code-block:: console
+
+    python -m repro table2 --scale 0.3
+    python -m repro figure1 --datasets ml100k ml1m
+    python -m repro table4 --datasets ml100k --scale 0.3 --output out.txt
+    python -m repro figure6 --scale 0.3
+    python -m repro recommend --dataset ml100k --arec psvd100 --theta thetaG --coverage dyn
+    python -m repro ablation-oslg --dataset ml1m
+
+Every experiment subcommand prints the same rows the paper's corresponding
+table/figure reports and optionally writes them to ``--output``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.coverage.registry import make_coverage
+from repro.data.io import save_recommendations_csv
+from repro.evaluation.evaluator import Evaluator
+from repro.experiments.ablations import run_ordering_ablation, run_oslg_vs_greedy
+from repro.experiments.datasets import EXPERIMENT_DATASETS, load_experiment_split
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure3_4 import run_figure3, run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.figure7_8 import run_figure7_8
+from repro.experiments.report_writer import ReportConfig, generate_report, write_report
+from repro.experiments.runner import ExperimentTable, build_accuracy_recommender
+from repro.experiments.table2 import run_table2
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+from repro.ganc.framework import GANC, GANCConfig
+from repro.preferences.registry import make_preference_model
+from repro.utils.tables import format_table
+
+
+def _emit(table: ExperimentTable, output: str | None) -> None:
+    text = table.to_text()
+    print(text)
+    if output:
+        path = Path(output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\nwritten to {path}")
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser, *, with_datasets: bool = True) -> None:
+    parser.add_argument("--scale", type=float, default=0.35, help="surrogate dataset scale factor")
+    parser.add_argument("--seed", type=int, default=0, help="split / sampling seed")
+    parser.add_argument("--output", type=str, default=None, help="write the rendered table to this file")
+    if with_datasets:
+        parser.add_argument(
+            "--datasets",
+            nargs="+",
+            choices=sorted(EXPERIMENT_DATASETS),
+            default=None,
+            help="dataset keys to include (default: all five)",
+        )
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    _emit(run_table2(datasets=args.datasets, scale=args.scale, seed=args.seed), args.output)
+    return 0
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    _, table = run_figure1(datasets=args.datasets, scale=args.scale, seed=args.seed)
+    _emit(table, args.output)
+    return 0
+
+
+def _cmd_figure2(args: argparse.Namespace) -> int:
+    _, table = run_figure2(datasets=args.datasets, scale=args.scale, seed=args.seed)
+    _emit(table, args.output)
+    return 0
+
+
+def _cmd_figure3(args: argparse.Namespace) -> int:
+    _, table = run_figure3(
+        sample_sizes=tuple(args.sample_sizes), scale=args.scale, seed=args.seed
+    )
+    _emit(table, args.output)
+    return 0
+
+
+def _cmd_figure4(args: argparse.Namespace) -> int:
+    _, table = run_figure4(
+        sample_sizes=tuple(args.sample_sizes), scale=args.scale, seed=args.seed
+    )
+    _emit(table, args.output)
+    return 0
+
+
+def _cmd_figure5(args: argparse.Namespace) -> int:
+    _, table = run_figure5(
+        dataset_key=args.dataset,
+        n_values=tuple(args.n_values),
+        sample_size=args.sample_size,
+        scale=args.scale,
+        seed=args.seed,
+    )
+    _emit(table, args.output)
+    return 0
+
+
+def _cmd_table4(args: argparse.Namespace) -> int:
+    _, table = run_table4(
+        datasets=args.datasets, scale=args.scale, sample_size=args.sample_size, seed=args.seed
+    )
+    _emit(table, args.output)
+    return 0
+
+
+def _cmd_figure6(args: argparse.Namespace) -> int:
+    _, table = run_figure6(
+        datasets=args.datasets, scale=args.scale, sample_size=args.sample_size, seed=args.seed
+    )
+    _emit(table, args.output)
+    return 0
+
+
+def _cmd_table5(args: argparse.Namespace) -> int:
+    _, table = run_table5(datasets=args.datasets, scale=args.scale, seed=args.seed)
+    _emit(table, args.output)
+    return 0
+
+
+def _cmd_figure7_8(args: argparse.Namespace) -> int:
+    _, table = run_figure7_8(
+        datasets=tuple(args.datasets or ("ml100k", "ml1m")), scale=args.scale, seed=args.seed
+    )
+    _emit(table, args.output)
+    return 0
+
+
+def _cmd_ablation_oslg(args: argparse.Namespace) -> int:
+    _, table = run_oslg_vs_greedy(dataset_key=args.dataset, scale=args.scale, seed=args.seed)
+    _emit(table, args.output)
+    return 0
+
+
+def _cmd_ablation_ordering(args: argparse.Namespace) -> int:
+    _, table = run_ordering_ablation(dataset_key=args.dataset, scale=args.scale, seed=args.seed)
+    _emit(table, args.output)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Generate the combined markdown report."""
+    config = ReportConfig(
+        datasets=tuple(args.datasets or ("ml100k", "ml1m")),
+        scale=args.scale,
+        sample_size=args.sample_size,
+        seed=args.seed,
+        include_table4=not args.skip_table4,
+        include_figure6=not args.skip_figure6,
+    )
+    if args.output:
+        path = write_report(args.output, config)
+        print(f"report written to {path}")
+    else:
+        print(generate_report(config))
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    """Run one GANC configuration end to end and report its metrics."""
+    _, split = load_experiment_split(args.dataset, scale=args.scale, seed=args.seed)
+    arec = build_accuracy_recommender(args.arec, seed=args.seed, scale_hint=args.scale)
+    preference = make_preference_model(args.theta, seed=args.seed)
+    coverage = make_coverage(args.coverage, seed=args.seed)
+    sample_size = max(1, min(args.sample_size, split.train.n_users))
+
+    model = GANC(arec, preference, coverage, config=GANCConfig(sample_size=sample_size, seed=args.seed))
+    model.fit(split.train)
+    recommendations = model.recommend_all(args.n)
+
+    evaluator = Evaluator(split, n=args.n)
+    report = evaluator.evaluate_recommendations(recommendations, algorithm=model.template).report
+
+    rows = [[metric, value] for metric, value in report.as_dict().items()]
+    print(format_table(["metric", "value"], rows, title=f"{model.template} on {args.dataset} (top-{args.n})"))
+
+    if args.save_recommendations:
+        path = save_recommendations_csv(recommendations.as_dict(), args.save_recommendations)
+        print(f"\nrecommendations written to {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GANC reproduction: regenerate the paper's tables/figures or run the framework.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    simple_commands: dict[str, tuple[str, Callable[[argparse.Namespace], int]]] = {
+        "table2": ("Table II: dataset statistics", _cmd_table2),
+        "figure1": ("Figure 1: popularity vs activity", _cmd_figure1),
+        "figure2": ("Figure 2: preference histograms", _cmd_figure2),
+        "table5": ("Table V: RSVD hyper-parameter selection", _cmd_table5),
+        "figure7-8": ("Figures 7-8: ranking protocol comparison", _cmd_figure7_8),
+    }
+    for name, (help_text, handler) in simple_commands.items():
+        sub = subparsers.add_parser(name, help=help_text)
+        _add_common_arguments(sub)
+        sub.set_defaults(handler=handler)
+
+    for name, handler, dataset_key in (("figure3", _cmd_figure3, "ml1m"), ("figure4", _cmd_figure4, "mt200k")):
+        sub = subparsers.add_parser(name, help=f"OSLG sample-size sweep ({dataset_key})")
+        _add_common_arguments(sub, with_datasets=False)
+        sub.add_argument("--sample-sizes", nargs="+", type=int, default=[100, 300, 500])
+        sub.set_defaults(handler=handler)
+
+    figure5 = subparsers.add_parser("figure5", help="Figure 5: preference models x ARec x N")
+    _add_common_arguments(figure5, with_datasets=False)
+    figure5.add_argument("--dataset", choices=sorted(EXPERIMENT_DATASETS), default="ml1m")
+    figure5.add_argument("--n-values", nargs="+", type=int, default=[5, 10, 15, 20])
+    figure5.add_argument("--sample-size", type=int, default=500)
+    figure5.set_defaults(handler=_cmd_figure5)
+
+    for name, help_text, handler in (
+        ("table4", "Table IV: re-ranking comparison", _cmd_table4),
+        ("figure6", "Figure 6: accuracy/coverage/novelty trade-offs", _cmd_figure6),
+    ):
+        sub = subparsers.add_parser(name, help=help_text)
+        _add_common_arguments(sub)
+        sub.add_argument("--sample-size", type=int, default=500)
+        sub.set_defaults(handler=handler)
+
+    for name, help_text, handler in (
+        ("ablation-oslg", "Ablation: OSLG vs exact Locally Greedy", _cmd_ablation_oslg),
+        ("ablation-ordering", "Ablation: sequential user ordering", _cmd_ablation_ordering),
+    ):
+        sub = subparsers.add_parser(name, help=help_text)
+        _add_common_arguments(sub, with_datasets=False)
+        sub.add_argument("--dataset", choices=sorted(EXPERIMENT_DATASETS), default="ml1m")
+        sub.set_defaults(handler=handler)
+
+    report = subparsers.add_parser("report", help="generate the combined markdown report")
+    _add_common_arguments(report)
+    report.add_argument("--sample-size", type=int, default=200)
+    report.add_argument("--skip-table4", action="store_true", help="omit the Table IV comparison")
+    report.add_argument("--skip-figure6", action="store_true", help="omit the Figure 6 trade-off section")
+    report.set_defaults(handler=_cmd_report)
+
+    recommend = subparsers.add_parser("recommend", help="run one GANC configuration and report metrics")
+    _add_common_arguments(recommend, with_datasets=False)
+    recommend.add_argument("--dataset", choices=sorted(EXPERIMENT_DATASETS), default="ml100k")
+    recommend.add_argument("--arec", default="psvd100", help="accuracy recommender (pop, rand, rsvd, psvd10, psvd100, cofir100)")
+    recommend.add_argument("--theta", default="thetaG", help="preference model (thetaA/N/T/G/R/C)")
+    recommend.add_argument("--coverage", default="dyn", help="coverage recommender (rand, stat, dyn)")
+    recommend.add_argument("--n", type=int, default=5, help="top-N size")
+    recommend.add_argument("--sample-size", type=int, default=500, help="OSLG sample size")
+    recommend.add_argument(
+        "--save-recommendations", type=str, default=None, help="write the top-N sets to this CSV file"
+    )
+    recommend.set_defaults(handler=_cmd_recommend)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler: Callable[[argparse.Namespace], int] = args.handler
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Facade over the paper's primary contribution.
+
+``repro.core`` re-exports the pieces that make up the paper's contribution —
+the long-tail preference estimators, the GANC framework, and the OSLG
+optimizer — so downstream code that only cares about the headline algorithm
+can depend on a single, stable module:
+
+>>> from repro.core import GANC, GANCConfig, GeneralizedPreference, DynamicCoverage
+
+Substrates (datasets, base recommenders, metrics, baselines) live in their own
+subpackages and are intentionally not re-exported here.
+"""
+
+from repro.coverage import DynamicCoverage, RandomCoverage, StaticCoverage
+from repro.ganc import (
+    GANC,
+    GANCConfig,
+    GaussianKDE,
+    LocallyGreedyOptimizer,
+    OSLGOptimizer,
+    OSLGResult,
+    UserValueFunction,
+    combined_item_scores,
+)
+from repro.preferences import (
+    ActivityPreference,
+    ConstantPreference,
+    GeneralizedPreference,
+    NormalizedLongTailPreference,
+    PreferenceResult,
+    RandomPreference,
+    TfidfPreference,
+)
+
+__all__ = [
+    "GANC",
+    "GANCConfig",
+    "GaussianKDE",
+    "LocallyGreedyOptimizer",
+    "OSLGOptimizer",
+    "OSLGResult",
+    "UserValueFunction",
+    "combined_item_scores",
+    "DynamicCoverage",
+    "RandomCoverage",
+    "StaticCoverage",
+    "ActivityPreference",
+    "ConstantPreference",
+    "GeneralizedPreference",
+    "NormalizedLongTailPreference",
+    "PreferenceResult",
+    "RandomPreference",
+    "TfidfPreference",
+]

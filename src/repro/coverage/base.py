@@ -1,0 +1,60 @@
+"""Abstract interface of coverage recommenders."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.data.dataset import RatingDataset
+from repro.exceptions import NotFittedError
+
+
+class CoverageRecommender(ABC):
+    """Supplies per-item coverage scores ``c(i) ∈ [0, 1]``.
+
+    Stateless recommenders (Rand, Stat) return the same scores for every user;
+    the dynamic recommender updates its internal assignment counts as top-N
+    sets are handed out, which is what makes the GANC objective submodular.
+    """
+
+    #: short name used in the GANC template string and the registry
+    name: str = "coverage"
+
+    def __init__(self) -> None:
+        self._n_items: int | None = None
+
+    @abstractmethod
+    def fit(self, train: RatingDataset) -> "CoverageRecommender":
+        """Prepare the recommender from the train data and return ``self``."""
+
+    @abstractmethod
+    def scores(self, user: int) -> np.ndarray:
+        """Coverage scores of all items for ``user`` (shape ``(n_items,)``)."""
+
+    @property
+    def is_dynamic(self) -> bool:
+        """Whether scores depend on the recommendations assigned so far."""
+        return False
+
+    def update(self, items: np.ndarray) -> None:
+        """Notify the recommender that ``items`` were just recommended.
+
+        Stateless recommenders ignore the notification.
+        """
+        del items
+
+    def reset(self) -> None:
+        """Reset any assignment-dependent state (no-op for stateless models)."""
+
+    @property
+    def n_items(self) -> int:
+        """Size of the item universe the recommender was fitted on."""
+        if self._n_items is None:
+            raise NotFittedError(
+                f"{type(self).__name__} must be fitted before it can be used"
+            )
+        return self._n_items
+
+    def _mark_fitted(self, train: RatingDataset) -> None:
+        self._n_items = train.n_items

@@ -1,0 +1,85 @@
+"""Dynamic coverage recommender with diminishing returns (Section III-B).
+
+``c(i) = 1 / sqrt(f^A_i + 1)`` where ``f^A_i`` counts how often item ``i``
+appears in the recommendations assigned *so far*.  The first time an item is
+recommended its gain is 1; every further recommendation of the same item is
+worth less.  This diminishing-returns property makes the aggregate GANC
+objective submodular across users (Theorem A.1 of the paper) and is what lets
+the framework spread long-tail items across the user base instead of pushing
+the same few unpopular items to everyone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coverage.base import CoverageRecommender
+from repro.data.dataset import RatingDataset
+from repro.exceptions import ConfigurationError
+
+
+class DynamicCoverage(CoverageRecommender):
+    """Stateful coverage scores based on current assignment frequencies."""
+
+    name = "Dyn"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._frequencies: np.ndarray | None = None
+
+    @property
+    def is_dynamic(self) -> bool:
+        """Dynamic coverage depends on the assignments made so far."""
+        return True
+
+    def fit(self, train: RatingDataset) -> "DynamicCoverage":
+        """Initialize the assignment frequency vector ``f`` to zero."""
+        self._frequencies = np.zeros(train.n_items, dtype=np.float64)
+        self._mark_fitted(train)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Assignment state
+    # ------------------------------------------------------------------ #
+    @property
+    def frequencies(self) -> np.ndarray:
+        """Current assignment counts ``f^A`` (read-only copy)."""
+        assert self._frequencies is not None, "fit must be called first"
+        return self._frequencies.copy()
+
+    def set_frequencies(self, frequencies: np.ndarray) -> None:
+        """Overwrite the assignment counts (used by OSLG snapshots)."""
+        arr = np.asarray(frequencies, dtype=np.float64)
+        if arr.shape != (self.n_items,):
+            raise ConfigurationError(
+                f"frequency vector must have shape ({self.n_items},), got {arr.shape}"
+            )
+        if arr.size and arr.min() < 0:
+            raise ConfigurationError("assignment frequencies cannot be negative")
+        self._frequencies = arr.copy()
+
+    def update(self, items: np.ndarray) -> None:
+        """Record that ``items`` were just assigned to some user."""
+        assert self._frequencies is not None, "fit must be called first"
+        items = np.asarray(items, dtype=np.int64)
+        if items.size:
+            np.add.at(self._frequencies, items, 1.0)
+
+    def reset(self) -> None:
+        """Clear all assignment counts."""
+        assert self._frequencies is not None, "fit must be called first"
+        self._frequencies.fill(0.0)
+
+    # ------------------------------------------------------------------ #
+    def scores(self, user: int) -> np.ndarray:
+        """``1 / sqrt(f^A_i + 1)`` for every item (same for all users)."""
+        del user
+        assert self._frequencies is not None, "fit must be called first"
+        return 1.0 / np.sqrt(self._frequencies + 1.0)
+
+    @staticmethod
+    def gain(frequency: float) -> float:
+        """Coverage gain of recommending an item already assigned ``frequency`` times."""
+        if frequency < 0:
+            raise ConfigurationError(f"frequency cannot be negative, got {frequency}")
+        return 1.0 / float(np.sqrt(frequency + 1.0))

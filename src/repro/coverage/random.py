@@ -1,0 +1,37 @@
+"""Random coverage recommender: ``c(i) ~ Uniform(0, 1)``.
+
+Recommending from this component alone yields maximal item-space coverage but
+no accuracy; inside GANC it acts as an unbiased exploration term.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coverage.base import CoverageRecommender
+from repro.data.dataset import RatingDataset
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+class RandomCoverage(CoverageRecommender):
+    """Per-user i.i.d. uniform coverage scores (deterministic per seed)."""
+
+    name = "Rand"
+
+    def __init__(self, *, seed: SeedLike = None) -> None:
+        super().__init__()
+        self._seed = seed
+        self._base_seed: int | None = None
+
+    def fit(self, train: RatingDataset) -> "RandomCoverage":
+        """Fix the per-user random streams."""
+        rng = ensure_rng(self._seed)
+        self._base_seed = int(rng.integers(0, 2**31 - 1))
+        self._mark_fitted(train)
+        return self
+
+    def scores(self, user: int) -> np.ndarray:
+        """Uniform random scores for every item, reproducible per user."""
+        assert self._base_seed is not None, "fit must be called first"
+        user_rng = np.random.default_rng(self._base_seed + int(user))
+        return user_rng.random(self.n_items)

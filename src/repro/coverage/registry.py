@@ -1,0 +1,32 @@
+"""Name-based construction of coverage recommenders."""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.coverage.base import CoverageRecommender
+from repro.coverage.dynamic import DynamicCoverage
+from repro.coverage.random import RandomCoverage
+from repro.coverage.static import StaticCoverage
+from repro.exceptions import ConfigurationError
+
+CoverageFactory = Callable[..., CoverageRecommender]
+
+COVERAGE_REGISTRY: Mapping[str, CoverageFactory] = {
+    "rand": lambda **kw: RandomCoverage(seed=kw.get("seed", None)),
+    "random": lambda **kw: RandomCoverage(seed=kw.get("seed", None)),
+    "stat": lambda **kw: StaticCoverage(),
+    "static": lambda **kw: StaticCoverage(),
+    "dyn": lambda **kw: DynamicCoverage(),
+    "dynamic": lambda **kw: DynamicCoverage(),
+}
+
+
+def make_coverage(name: str, **kwargs: object) -> CoverageRecommender:
+    """Instantiate a coverage recommender from its (case-insensitive) name."""
+    key = name.strip().lower()
+    if key not in COVERAGE_REGISTRY:
+        raise ConfigurationError(
+            f"unknown coverage recommender {name!r}; available: {sorted(COVERAGE_REGISTRY)}"
+        )
+    return COVERAGE_REGISTRY[key](**kwargs)

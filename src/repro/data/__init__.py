@@ -1,0 +1,56 @@
+"""Rating-data substrate: dataset model, loaders, splits, popularity statistics.
+
+This subpackage implements everything the paper's Section II-A data model needs:
+
+* :class:`~repro.data.dataset.RatingDataset` — an immutable container of
+  (user, item, rating) interactions with fast per-user / per-item access,
+* format-exact loaders for the public datasets the paper evaluates on
+  (MovieLens 100K/1M/10M, MovieTweetings, Netflix),
+* a synthetic dataset factory that reproduces the datasets' popularity bias and
+  sparsity profile when the original files are not available offline,
+* train/test splitting utilities (per-user ratio split κ, leave-k-out),
+* item popularity statistics and the Pareto (80/20) long-tail item set.
+"""
+
+from repro.data.dataset import RatingDataset, Interaction
+from repro.data.popularity import PopularityStats, long_tail_items, compute_popularity
+from repro.data.split import (
+    RatioSplitter,
+    LeaveKOutSplitter,
+    TrainTestSplit,
+    split_ratings,
+)
+from repro.data.synthetic import (
+    SyntheticConfig,
+    SyntheticDatasetFactory,
+    DATASET_PROFILES,
+    make_dataset,
+)
+from repro.data.loaders import (
+    load_movielens_100k,
+    load_movielens_dat,
+    load_movietweetings,
+    load_netflix_directory,
+    load_csv_ratings,
+)
+
+__all__ = [
+    "RatingDataset",
+    "Interaction",
+    "PopularityStats",
+    "long_tail_items",
+    "compute_popularity",
+    "RatioSplitter",
+    "LeaveKOutSplitter",
+    "TrainTestSplit",
+    "split_ratings",
+    "SyntheticConfig",
+    "SyntheticDatasetFactory",
+    "DATASET_PROFILES",
+    "make_dataset",
+    "load_movielens_100k",
+    "load_movielens_dat",
+    "load_movietweetings",
+    "load_netflix_directory",
+    "load_csv_ratings",
+]

@@ -1,0 +1,365 @@
+"""The core rating-dataset container used throughout the library.
+
+The paper's data model (Section II-A) is a set of ratings
+``D = {r_ui : u in U, i in I}`` together with derived per-user and per-item
+index sets (``I_u``, ``U_i``).  :class:`RatingDataset` stores the triples in
+contiguous numpy arrays, maps arbitrary raw identifiers onto dense integer
+indices, and exposes the per-user / per-item views the algorithms need without
+materializing a dense ``|U| x |I|`` matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import DataError
+
+
+@dataclass(frozen=True)
+class Interaction:
+    """A single (user, item, rating) observation with raw identifiers."""
+
+    user: object
+    item: object
+    rating: float
+
+
+class RatingDataset:
+    """Immutable collection of user-item ratings with dense index mapping.
+
+    Parameters
+    ----------
+    user_indices, item_indices, ratings:
+        Parallel arrays describing the interactions using *dense* indices in
+        ``[0, n_users)`` and ``[0, n_items)``.
+    n_users, n_items:
+        Size of the user and item universes.  These may exceed the number of
+        distinct indices present in the arrays (e.g. a test split references
+        the same universe as its train split even if some users have no test
+        ratings).
+    user_ids, item_ids:
+        Optional sequences mapping dense indices back to the raw identifiers
+        found in the source files.  Defaults to ``0..n-1``.
+
+    Notes
+    -----
+    Instances are conceptually immutable: all arrays are stored with
+    ``writeable=False`` and derived structures are cached on first use.
+    """
+
+    def __init__(
+        self,
+        user_indices: np.ndarray,
+        item_indices: np.ndarray,
+        ratings: np.ndarray,
+        *,
+        n_users: int,
+        n_items: int,
+        user_ids: Sequence[object] | None = None,
+        item_ids: Sequence[object] | None = None,
+        name: str = "dataset",
+    ) -> None:
+        users = np.asarray(user_indices, dtype=np.int64)
+        items = np.asarray(item_indices, dtype=np.int64)
+        values = np.asarray(ratings, dtype=np.float64)
+        if not (users.shape == items.shape == values.shape):
+            raise DataError(
+                "user_indices, item_indices and ratings must have identical shapes; "
+                f"got {users.shape}, {items.shape}, {values.shape}"
+            )
+        if users.ndim != 1:
+            raise DataError(f"interaction arrays must be 1-D, got {users.ndim}-D")
+        if n_users <= 0 or n_items <= 0:
+            raise DataError(f"n_users and n_items must be positive, got {n_users}, {n_items}")
+        if users.size:
+            if users.min() < 0 or users.max() >= n_users:
+                raise DataError(
+                    f"user indices must lie in [0, {n_users}), got range "
+                    f"[{users.min()}, {users.max()}]"
+                )
+            if items.min() < 0 or items.max() >= n_items:
+                raise DataError(
+                    f"item indices must lie in [0, {n_items}), got range "
+                    f"[{items.min()}, {items.max()}]"
+                )
+        for arr in (users, items, values):
+            arr.setflags(write=False)
+
+        self._users = users
+        self._items = items
+        self._ratings = values
+        self._n_users = int(n_users)
+        self._n_items = int(n_items)
+        self._name = name
+        self._user_ids = list(user_ids) if user_ids is not None else list(range(n_users))
+        self._item_ids = list(item_ids) if item_ids is not None else list(range(n_items))
+        if len(self._user_ids) != n_users:
+            raise DataError(
+                f"user_ids has {len(self._user_ids)} entries but n_users={n_users}"
+            )
+        if len(self._item_ids) != n_items:
+            raise DataError(
+                f"item_ids has {len(self._item_ids)} entries but n_items={n_items}"
+            )
+
+        self._csr: sparse.csr_matrix | None = None
+        self._csc: sparse.csc_matrix | None = None
+        self._user_slices: tuple[np.ndarray, np.ndarray] | None = None
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_interactions(
+        cls,
+        interactions: Iterable[Interaction] | Iterable[tuple[object, object, float]],
+        *,
+        name: str = "dataset",
+    ) -> "RatingDataset":
+        """Build a dataset from raw (user, item, rating) records.
+
+        Raw identifiers are mapped onto dense indices in first-appearance
+        order, which keeps loading deterministic.
+        """
+        user_map: dict[object, int] = {}
+        item_map: dict[object, int] = {}
+        users: list[int] = []
+        items: list[int] = []
+        values: list[float] = []
+        for record in interactions:
+            if isinstance(record, Interaction):
+                raw_user, raw_item, rating = record.user, record.item, record.rating
+            else:
+                raw_user, raw_item, rating = record
+            uidx = user_map.setdefault(raw_user, len(user_map))
+            iidx = item_map.setdefault(raw_item, len(item_map))
+            users.append(uidx)
+            items.append(iidx)
+            values.append(float(rating))
+        if not users:
+            raise DataError("cannot build a RatingDataset from zero interactions")
+        return cls(
+            np.asarray(users),
+            np.asarray(items),
+            np.asarray(values),
+            n_users=len(user_map),
+            n_items=len(item_map),
+            user_ids=list(user_map.keys()),
+            item_ids=list(item_map.keys()),
+            name=name,
+        )
+
+    def with_interactions(
+        self,
+        user_indices: np.ndarray,
+        item_indices: np.ndarray,
+        ratings: np.ndarray,
+        *,
+        name: str | None = None,
+    ) -> "RatingDataset":
+        """Create a dataset over the *same universe* with different triples.
+
+        This is how train/test splits stay index-compatible with each other.
+        """
+        return RatingDataset(
+            user_indices,
+            item_indices,
+            ratings,
+            n_users=self._n_users,
+            n_items=self._n_items,
+            user_ids=self._user_ids,
+            item_ids=self._item_ids,
+            name=name or self._name,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """Human-readable dataset name (used in experiment reports)."""
+        return self._name
+
+    @property
+    def n_users(self) -> int:
+        """Number of users in the universe (``|U|``)."""
+        return self._n_users
+
+    @property
+    def n_items(self) -> int:
+        """Number of items in the universe (``|I|``)."""
+        return self._n_items
+
+    @property
+    def n_ratings(self) -> int:
+        """Number of observed interactions (``|D|``)."""
+        return int(self._ratings.size)
+
+    @property
+    def user_indices(self) -> np.ndarray:
+        """Read-only array of user indices, one per interaction."""
+        return self._users
+
+    @property
+    def item_indices(self) -> np.ndarray:
+        """Read-only array of item indices, one per interaction."""
+        return self._items
+
+    @property
+    def ratings(self) -> np.ndarray:
+        """Read-only array of rating values, one per interaction."""
+        return self._ratings
+
+    @property
+    def user_ids(self) -> list[object]:
+        """Raw user identifiers indexed by dense user index."""
+        return list(self._user_ids)
+
+    @property
+    def item_ids(self) -> list[object]:
+        """Raw item identifiers indexed by dense item index."""
+        return list(self._item_ids)
+
+    @property
+    def density(self) -> float:
+        """Fraction of the full rating matrix that is observed."""
+        return self.n_ratings / float(self._n_users * self._n_items)
+
+    @property
+    def rating_scale(self) -> tuple[float, float]:
+        """(min, max) of the observed rating values."""
+        if self.n_ratings == 0:
+            return (0.0, 0.0)
+        return (float(self._ratings.min()), float(self._ratings.max()))
+
+    def __len__(self) -> int:
+        return self.n_ratings
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RatingDataset(name={self._name!r}, users={self._n_users}, "
+            f"items={self._n_items}, ratings={self.n_ratings}, "
+            f"density={self.density:.4%})"
+        )
+
+    def __iter__(self) -> Iterator[Interaction]:
+        for u, i, r in zip(self._users, self._items, self._ratings):
+            yield Interaction(self._user_ids[u], self._item_ids[i], float(r))
+
+    # ------------------------------------------------------------------ #
+    # Sparse views
+    # ------------------------------------------------------------------ #
+    def to_csr(self) -> sparse.csr_matrix:
+        """Return the interactions as a ``|U| x |I|`` CSR matrix of ratings."""
+        if self._csr is None:
+            self._csr = sparse.csr_matrix(
+                (self._ratings, (self._users, self._items)),
+                shape=(self._n_users, self._n_items),
+            )
+        return self._csr
+
+    def to_csc(self) -> sparse.csc_matrix:
+        """Return the interactions as a CSC matrix (fast per-item access)."""
+        if self._csc is None:
+            self._csc = self.to_csr().tocsc()
+        return self._csc
+
+    # ------------------------------------------------------------------ #
+    # Per-user / per-item access
+    # ------------------------------------------------------------------ #
+    def _ensure_user_slices(self) -> tuple[np.ndarray, np.ndarray]:
+        """Build (indptr, order) so user ``u``'s interactions are a slice."""
+        if self._user_slices is None:
+            order = np.argsort(self._users, kind="stable")
+            counts = np.bincount(self._users, minlength=self._n_users)
+            indptr = np.zeros(self._n_users + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            self._user_slices = (indptr, order)
+        return self._user_slices
+
+    def user_items(self, user: int) -> np.ndarray:
+        """Item indices rated by ``user`` (``I_u``)."""
+        indptr, order = self._ensure_user_slices()
+        rows = order[indptr[user]:indptr[user + 1]]
+        return self._items[rows]
+
+    def user_ratings(self, user: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(item_indices, rating_values)`` for ``user``."""
+        indptr, order = self._ensure_user_slices()
+        rows = order[indptr[user]:indptr[user + 1]]
+        return self._items[rows], self._ratings[rows]
+
+    def item_users(self, item: int) -> np.ndarray:
+        """User indices that rated ``item`` (``U_i``)."""
+        csc = self.to_csc()
+        return csc.indices[csc.indptr[item]:csc.indptr[item + 1]].astype(np.int64)
+
+    def user_activity(self) -> np.ndarray:
+        """Number of rated items per user (``|I_u|``), shape ``(n_users,)``."""
+        return np.bincount(self._users, minlength=self._n_users)
+
+    def item_popularity(self) -> np.ndarray:
+        """Number of ratings per item (``f_i = |U_i|``), shape ``(n_items,)``."""
+        return np.bincount(self._items, minlength=self._n_items)
+
+    def users_with_ratings(self) -> np.ndarray:
+        """Indices of users that have at least one interaction."""
+        return np.flatnonzero(self.user_activity() > 0)
+
+    def items_with_ratings(self) -> np.ndarray:
+        """Indices of items that have at least one interaction."""
+        return np.flatnonzero(self.item_popularity() > 0)
+
+    def rating_lookup(self) -> Mapping[tuple[int, int], float]:
+        """Return a dict mapping ``(user, item)`` to the rating value."""
+        return {
+            (int(u), int(i)): float(r)
+            for u, i, r in zip(self._users, self._items, self._ratings)
+        }
+
+    def mean_rating(self) -> float:
+        """Global mean of the observed ratings (0.0 when empty)."""
+        if self.n_ratings == 0:
+            return 0.0
+        return float(self._ratings.mean())
+
+    # ------------------------------------------------------------------ #
+    # Filtering
+    # ------------------------------------------------------------------ #
+    def filter_users_with_min_ratings(self, minimum: int, *, name: str | None = None) -> "RatingDataset":
+        """Keep only interactions of users with at least ``minimum`` ratings.
+
+        Mirrors the paper's preprocessing (τ): MovieLens datasets keep users
+        with >= 20 ratings, MovieTweetings keeps users with >= 5 ratings.  The
+        user/item universe is re-indexed to the surviving entities.
+        """
+        if minimum < 1:
+            raise DataError(f"minimum must be >= 1, got {minimum}")
+        activity = self.user_activity()
+        keep_users = activity >= minimum
+        mask = keep_users[self._users]
+        return self._reindexed_subset(mask, name=name or f"{self._name}|min{minimum}")
+
+    def _reindexed_subset(self, mask: np.ndarray, *, name: str) -> "RatingDataset":
+        """Return a re-indexed dataset containing only interactions in ``mask``."""
+        users = self._users[mask]
+        items = self._items[mask]
+        values = self._ratings[mask]
+        if users.size == 0:
+            raise DataError("filtering removed every interaction")
+        unique_users, new_users = np.unique(users, return_inverse=True)
+        unique_items, new_items = np.unique(items, return_inverse=True)
+        return RatingDataset(
+            new_users,
+            new_items,
+            values,
+            n_users=unique_users.size,
+            n_items=unique_items.size,
+            user_ids=[self._user_ids[u] for u in unique_users],
+            item_ids=[self._item_ids[i] for i in unique_items],
+            name=name,
+        )

@@ -1,0 +1,153 @@
+"""Persistence helpers: datasets, recommendation collections and metric reports.
+
+Long experiment runs need to save their intermediate artefacts (train/test
+splits, generated top-N sets, metric reports) so that downstream analysis does
+not have to recompute them.  Everything is stored in simple, inspectable
+formats: CSV for interactions and recommendations, JSON for metric reports.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from repro.data.dataset import RatingDataset
+from repro.exceptions import DataFormatError
+from repro.metrics.report import MetricReport
+
+
+# --------------------------------------------------------------------------- #
+# Datasets
+# --------------------------------------------------------------------------- #
+def save_dataset_csv(dataset: RatingDataset, path: str | Path) -> Path:
+    """Write a dataset's interactions as ``user,item,rating`` CSV (raw ids)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    user_ids = dataset.user_ids
+    item_ids = dataset.item_ids
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["user", "item", "rating"])
+        for user, item, rating in zip(
+            dataset.user_indices, dataset.item_indices, dataset.ratings
+        ):
+            writer.writerow([user_ids[user], item_ids[item], rating])
+    return path
+
+
+def load_dataset_csv(path: str | Path, *, name: str | None = None) -> RatingDataset:
+    """Load a dataset previously written by :func:`save_dataset_csv`."""
+    from repro.data.loaders import load_csv_ratings
+
+    path = Path(path)
+    return load_csv_ratings(path, name=name or path.stem, has_header=True)
+
+
+# --------------------------------------------------------------------------- #
+# Recommendations
+# --------------------------------------------------------------------------- #
+def save_recommendations_csv(
+    recommendations: Mapping[int, np.ndarray], path: str | Path
+) -> Path:
+    """Write a ``{user: items}`` collection as ``user,rank,item`` CSV."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["user", "rank", "item"])
+        for user in sorted(recommendations):
+            for rank, item in enumerate(np.asarray(recommendations[user]).tolist(), start=1):
+                writer.writerow([user, rank, int(item)])
+    return path
+
+
+def load_recommendations_csv(path: str | Path) -> dict[int, np.ndarray]:
+    """Load a collection written by :func:`save_recommendations_csv`."""
+    path = Path(path)
+    per_user: dict[int, list[tuple[int, int]]] = {}
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            reader = csv.reader(handle)
+            header = next(reader, None)
+            if header is None or [h.strip() for h in header[:3]] != ["user", "rank", "item"]:
+                raise DataFormatError(
+                    f"{path}: expected a 'user,rank,item' header, got {header!r}"
+                )
+            for row_number, row in enumerate(reader, start=2):
+                if not row:
+                    continue
+                if len(row) < 3:
+                    raise DataFormatError(f"{path}:{row_number}: expected 3 columns, got {row!r}")
+                user, rank, item = int(row[0]), int(row[1]), int(row[2])
+                per_user.setdefault(user, []).append((rank, item))
+    except OSError as exc:
+        raise DataFormatError(f"cannot read recommendations file {path}: {exc}") from exc
+    except ValueError as exc:
+        raise DataFormatError(f"{path}: non-integer value in recommendations file") from exc
+
+    return {
+        user: np.array([item for _, item in sorted(entries)], dtype=np.int64)
+        for user, entries in per_user.items()
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Metric reports
+# --------------------------------------------------------------------------- #
+def report_to_dict(report: MetricReport) -> dict[str, object]:
+    """Convert a :class:`MetricReport` into a JSON-serializable dictionary."""
+    payload: dict[str, object] = {
+        "algorithm": report.algorithm,
+        "dataset": report.dataset,
+        "n": report.n,
+    }
+    payload.update(report.as_dict())
+    payload["extras"] = dict(report.extras)
+    return payload
+
+
+def report_from_dict(payload: Mapping[str, object]) -> MetricReport:
+    """Rebuild a :class:`MetricReport` from :func:`report_to_dict` output."""
+    try:
+        return MetricReport(
+            algorithm=str(payload["algorithm"]),
+            dataset=str(payload["dataset"]),
+            n=int(payload["n"]),
+            precision=float(payload["precision"]),
+            recall=float(payload["recall"]),
+            f_measure=float(payload["f_measure"]),
+            lt_accuracy=float(payload["lt_accuracy"]),
+            stratified_recall=float(payload["stratified_recall"]),
+            coverage=float(payload["coverage"]),
+            gini=float(payload["gini"]),
+            extras={str(k): float(v) for k, v in dict(payload.get("extras", {})).items()},
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DataFormatError(f"malformed metric report payload: {exc}") from exc
+
+
+def save_reports_json(reports: list[MetricReport], path: str | Path) -> Path:
+    """Write a list of metric reports as a JSON array."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = [report_to_dict(report) for report in reports]
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def load_reports_json(path: str | Path) -> list[MetricReport]:
+    """Load metric reports written by :func:`save_reports_json`."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise DataFormatError(f"cannot read reports file {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise DataFormatError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, list):
+        raise DataFormatError(f"{path}: expected a JSON array of reports")
+    return [report_from_dict(entry) for entry in payload]

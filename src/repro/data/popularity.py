@@ -1,0 +1,143 @@
+"""Item popularity statistics and the Pareto (80/20) long-tail item set.
+
+Following the paper (Section II-A), the popularity of item ``i`` is its
+frequency in the train set, ``f^R_i = |U^R_i|``, and the long-tail item set
+``L`` consists of the least popular items that together generate the lower
+20% of the total ratings (items sorted in decreasing popularity, the tail of
+that ordering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.dataset import RatingDataset
+from repro.exceptions import ConfigurationError
+
+
+def compute_popularity(train: RatingDataset) -> np.ndarray:
+    """Return the per-item rating counts ``f^R_i`` of the train set."""
+    return train.item_popularity().astype(np.int64)
+
+
+def long_tail_items(
+    train: RatingDataset | np.ndarray,
+    *,
+    tail_fraction: float = 0.2,
+) -> np.ndarray:
+    """Return the indices of the Pareto long-tail items.
+
+    Items are sorted in decreasing popularity; the long-tail is the maximal
+    suffix of that ordering whose cumulative rating count does not exceed
+    ``tail_fraction`` of the total number of ratings.  Items with zero ratings
+    are always part of the long tail.
+
+    Parameters
+    ----------
+    train:
+        Either a :class:`RatingDataset` or a precomputed popularity vector.
+    tail_fraction:
+        Fraction of the total rating mass assigned to the tail (0.2 = the
+        paper's 80/20 rule).
+    """
+    if not 0.0 < tail_fraction < 1.0:
+        raise ConfigurationError(
+            f"tail_fraction must be in (0, 1), got {tail_fraction}"
+        )
+    if isinstance(train, RatingDataset):
+        popularity = compute_popularity(train)
+    else:
+        popularity = np.asarray(train, dtype=np.int64)
+        if popularity.ndim != 1:
+            raise ConfigurationError("popularity vector must be 1-D")
+        if popularity.size and popularity.min() < 0:
+            raise ConfigurationError("popularity counts cannot be negative")
+
+    total = int(popularity.sum())
+    if total == 0:
+        return np.arange(popularity.size, dtype=np.int64)
+
+    # Sort items by decreasing popularity; walk from the most popular item and
+    # mark the "head" until it has accumulated (1 - tail_fraction) of the mass.
+    order = np.argsort(-popularity, kind="stable")
+    cumulative = np.cumsum(popularity[order])
+    head_mass = (1.0 - tail_fraction) * total
+    # Head = smallest prefix whose cumulative count reaches the head mass.
+    head_size = int(np.searchsorted(cumulative, head_mass, side="left")) + 1
+    head_size = min(head_size, popularity.size)
+    tail = order[head_size:]
+    return np.sort(tail)
+
+
+@dataclass
+class PopularityStats:
+    """Aggregated popularity statistics of a train set.
+
+    Attributes
+    ----------
+    popularity:
+        Per-item rating counts ``f^R_i``.
+    long_tail:
+        Indices of long-tail items (Pareto rule).
+    tail_fraction:
+        The fraction of rating mass defining the tail.
+    """
+
+    popularity: np.ndarray
+    long_tail: np.ndarray
+    tail_fraction: float = 0.2
+    _long_tail_mask: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.popularity = np.asarray(self.popularity, dtype=np.int64)
+        self.long_tail = np.asarray(self.long_tail, dtype=np.int64)
+        mask = np.zeros(self.popularity.size, dtype=bool)
+        mask[self.long_tail] = True
+        self._long_tail_mask = mask
+
+    @classmethod
+    def from_dataset(
+        cls, train: RatingDataset, *, tail_fraction: float = 0.2
+    ) -> "PopularityStats":
+        """Compute popularity counts and the long-tail set of ``train``."""
+        popularity = compute_popularity(train)
+        tail = long_tail_items(popularity, tail_fraction=tail_fraction)
+        return cls(popularity=popularity, long_tail=tail, tail_fraction=tail_fraction)
+
+    @property
+    def n_items(self) -> int:
+        """Number of items in the universe."""
+        return int(self.popularity.size)
+
+    @property
+    def long_tail_mask(self) -> np.ndarray:
+        """Boolean mask over items that is True for long-tail items."""
+        return self._long_tail_mask
+
+    @property
+    def long_tail_percentage(self) -> float:
+        """``L%`` from Table II: long-tail items / items with ratings, in %."""
+        rated_items = int(np.count_nonzero(self.popularity))
+        if rated_items == 0:
+            return 100.0
+        rated_tail = int(np.count_nonzero(self.popularity[self.long_tail] > 0))
+        # The paper reports |L| / |I_R|; items with zero train ratings are not
+        # part of I_R, so exclude them from both numerator and denominator.
+        return 100.0 * rated_tail / rated_items
+
+    def is_long_tail(self, items: np.ndarray) -> np.ndarray:
+        """Vectorized membership test of ``items`` in the long-tail set."""
+        return self._long_tail_mask[np.asarray(items, dtype=np.int64)]
+
+    def head_items(self) -> np.ndarray:
+        """Indices of short-head (non-long-tail) items."""
+        return np.flatnonzero(~self._long_tail_mask)
+
+    def average_popularity_of(self, items: np.ndarray) -> float:
+        """Mean popularity of the given items (0.0 for an empty selection)."""
+        items = np.asarray(items, dtype=np.int64)
+        if items.size == 0:
+            return 0.0
+        return float(self.popularity[items].mean())

@@ -1,0 +1,146 @@
+"""Train/test splitting strategies.
+
+The paper splits each dataset by keeping a fixed ratio ``κ`` of every user's
+ratings in the train set and moving the rest to test (Section IV-A).  This
+guarantees every user retains some training signal: an infrequent user with 5
+ratings and κ=0.8 keeps 4 ratings in train and 1 in test.  For the Netflix
+probe-style evaluation a leave-k-out splitter is provided as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import RatingDataset
+from repro.exceptions import SplitError
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class TrainTestSplit:
+    """A train/test pair defined over the same user/item universe."""
+
+    train: RatingDataset
+    test: RatingDataset
+
+    def __post_init__(self) -> None:
+        if self.train.n_users != self.test.n_users or self.train.n_items != self.test.n_items:
+            raise SplitError(
+                "train and test must share the same universe: "
+                f"train is {self.train.n_users}x{self.train.n_items}, "
+                f"test is {self.test.n_users}x{self.test.n_items}"
+            )
+
+    @property
+    def n_ratings(self) -> int:
+        """Total number of interactions across both partitions."""
+        return self.train.n_ratings + self.test.n_ratings
+
+
+class RatioSplitter:
+    """Per-user ratio split: keep fraction ``train_ratio`` of each user's ratings.
+
+    Parameters
+    ----------
+    train_ratio:
+        The paper's ``κ``: fraction of each user's ratings placed in train.
+        The number of train ratings of a user with ``n`` ratings is
+        ``max(1, round(κ·n))`` but never ``n`` when the user has at least two
+        ratings, so every such user gets at least one test rating only when
+        rounding allows it (users whose rounded train size equals ``n`` simply
+        contribute no test ratings, as in the original protocol).
+    seed:
+        Seed controlling which ratings land in train vs test.
+    """
+
+    def __init__(self, train_ratio: float = 0.8, *, seed: SeedLike = None) -> None:
+        if not 0.0 < train_ratio < 1.0:
+            raise SplitError(f"train_ratio must be in (0, 1), got {train_ratio}")
+        self.train_ratio = float(train_ratio)
+        self._seed = seed
+
+    def split(self, dataset: RatingDataset) -> TrainTestSplit:
+        """Split ``dataset`` into a :class:`TrainTestSplit`."""
+        rng = ensure_rng(self._seed)
+        users = dataset.user_indices
+        n = dataset.n_ratings
+        train_mask = np.zeros(n, dtype=bool)
+
+        order = np.argsort(users, kind="stable")
+        sorted_users = users[order]
+        boundaries = np.flatnonzero(np.diff(sorted_users)) + 1
+        groups = np.split(order, boundaries)
+        for group in groups:
+            size = group.size
+            n_train = int(round(self.train_ratio * size))
+            n_train = min(max(n_train, 1), size)
+            chosen = rng.choice(group, size=n_train, replace=False)
+            train_mask[chosen] = True
+
+        return _build_split(dataset, train_mask)
+
+
+class LeaveKOutSplitter:
+    """Hold out ``k`` ratings per user as the test set (probe-style split).
+
+    Users with fewer than ``k + 1`` ratings keep all their ratings in train so
+    that every user retains training signal, matching the paper's requirement
+    that probe users absent from train are removed.
+    """
+
+    def __init__(self, k: int = 1, *, seed: SeedLike = None) -> None:
+        if k < 1:
+            raise SplitError(f"k must be >= 1, got {k}")
+        self.k = int(k)
+        self._seed = seed
+
+    def split(self, dataset: RatingDataset) -> TrainTestSplit:
+        """Split ``dataset`` by holding out ``k`` ratings per user."""
+        rng = ensure_rng(self._seed)
+        users = dataset.user_indices
+        n = dataset.n_ratings
+        train_mask = np.ones(n, dtype=bool)
+
+        order = np.argsort(users, kind="stable")
+        sorted_users = users[order]
+        boundaries = np.flatnonzero(np.diff(sorted_users)) + 1
+        groups = np.split(order, boundaries)
+        for group in groups:
+            if group.size <= self.k:
+                continue
+            held_out = rng.choice(group, size=self.k, replace=False)
+            train_mask[held_out] = False
+
+        return _build_split(dataset, train_mask)
+
+
+def split_ratings(
+    dataset: RatingDataset,
+    *,
+    train_ratio: float = 0.8,
+    seed: SeedLike = None,
+) -> TrainTestSplit:
+    """Convenience wrapper around :class:`RatioSplitter`."""
+    return RatioSplitter(train_ratio, seed=seed).split(dataset)
+
+
+def _build_split(dataset: RatingDataset, train_mask: np.ndarray) -> TrainTestSplit:
+    """Materialize a :class:`TrainTestSplit` from a boolean train mask."""
+    if not train_mask.any():
+        raise SplitError("split produced an empty train set")
+    test_mask = ~train_mask
+    train = dataset.with_interactions(
+        dataset.user_indices[train_mask],
+        dataset.item_indices[train_mask],
+        dataset.ratings[train_mask],
+        name=f"{dataset.name}|train",
+    )
+    test = dataset.with_interactions(
+        dataset.user_indices[test_mask],
+        dataset.item_indices[test_mask],
+        dataset.ratings[test_mask],
+        name=f"{dataset.name}|test",
+    )
+    return TrainTestSplit(train=train, test=test)

@@ -1,0 +1,162 @@
+"""Descriptive statistics of rating datasets.
+
+Bundles the quantities the paper's data-analysis figures and tables rely on —
+user activity and item popularity distributions, rating-value histograms, the
+share of infrequent users, per-user average item popularity — into one
+structured summary that Table II, Figure 1 and the synthetic-surrogate
+validation all reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import RatingDataset
+from repro.data.popularity import PopularityStats
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Five-number-style summary of a non-negative integer distribution."""
+
+    minimum: float
+    percentile_25: float
+    median: float
+    percentile_75: float
+    maximum: float
+    mean: float
+    std: float
+
+    @classmethod
+    def from_values(cls, values: np.ndarray) -> "DistributionSummary":
+        """Summarize ``values`` (must be non-empty)."""
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.size == 0:
+            raise ConfigurationError("cannot summarize an empty distribution")
+        q25, median, q75 = np.percentile(arr, [25, 50, 75])
+        return cls(
+            minimum=float(arr.min()),
+            percentile_25=float(q25),
+            median=float(median),
+            percentile_75=float(q75),
+            maximum=float(arr.max()),
+            mean=float(arr.mean()),
+            std=float(arr.std()),
+        )
+
+
+@dataclass(frozen=True)
+class DatasetSummary:
+    """Full descriptive summary of one rating dataset.
+
+    Attributes mirror the quantities discussed in Sections II and IV-A of the
+    paper: density, long-tail share, activity/popularity distributions, the
+    fraction of infrequent users (fewer than 10 ratings, as highlighted for
+    MT-200K and Netflix), and the rating-value histogram.
+    """
+
+    name: str
+    n_users: int
+    n_items: int
+    n_ratings: int
+    density: float
+    long_tail_share: float
+    infrequent_user_share: float
+    user_activity: DistributionSummary
+    item_popularity: DistributionSummary
+    rating_values: dict[float, int]
+    mean_rating: float
+
+    def as_rows(self) -> list[list[object]]:
+        """Key/value rows for table rendering."""
+        return [
+            ["users", self.n_users],
+            ["items", self.n_items],
+            ["ratings", self.n_ratings],
+            ["density %", round(100.0 * self.density, 3)],
+            ["long-tail share %", round(100.0 * self.long_tail_share, 2)],
+            ["infrequent users %", round(100.0 * self.infrequent_user_share, 2)],
+            ["mean rating", round(self.mean_rating, 3)],
+            ["median activity", self.user_activity.median],
+            ["max activity", self.user_activity.maximum],
+            ["median item popularity", self.item_popularity.median],
+            ["max item popularity", self.item_popularity.maximum],
+        ]
+
+
+def summarize_dataset(
+    dataset: RatingDataset,
+    *,
+    infrequent_threshold: int = 10,
+    tail_fraction: float = 0.2,
+) -> DatasetSummary:
+    """Compute a :class:`DatasetSummary` for ``dataset``.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset (usually a train split) to describe.
+    infrequent_threshold:
+        Users with fewer ratings than this are counted as infrequent (the
+        paper reports the share of users with fewer than 10 ratings).
+    tail_fraction:
+        Pareto fraction used for the long-tail share.
+    """
+    if infrequent_threshold < 1:
+        raise ConfigurationError(
+            f"infrequent_threshold must be >= 1, got {infrequent_threshold}"
+        )
+    activity = dataset.user_activity()
+    popularity = dataset.item_popularity()
+    stats = PopularityStats.from_dataset(dataset, tail_fraction=tail_fraction)
+
+    rated_users = activity[activity > 0]
+    rated_items = popularity[popularity > 0]
+    infrequent = float(np.mean(rated_users < infrequent_threshold)) if rated_users.size else 0.0
+
+    values, counts = np.unique(dataset.ratings, return_counts=True)
+    rating_histogram = {float(v): int(c) for v, c in zip(values, counts)}
+
+    return DatasetSummary(
+        name=dataset.name,
+        n_users=dataset.n_users,
+        n_items=dataset.n_items,
+        n_ratings=dataset.n_ratings,
+        density=dataset.density,
+        long_tail_share=stats.long_tail_percentage / 100.0,
+        infrequent_user_share=infrequent,
+        user_activity=DistributionSummary.from_values(rated_users if rated_users.size else np.zeros(1)),
+        item_popularity=DistributionSummary.from_values(rated_items if rated_items.size else np.zeros(1)),
+        rating_values=rating_histogram,
+        mean_rating=dataset.mean_rating(),
+    )
+
+
+def average_rated_popularity_per_user(dataset: RatingDataset) -> np.ndarray:
+    """Per-user mean popularity of the items they rated (Figure 1's y-values)."""
+    popularity = dataset.item_popularity().astype(np.float64)
+    counts = dataset.user_activity().astype(np.float64)
+    sums = np.bincount(
+        dataset.user_indices,
+        weights=popularity[dataset.item_indices],
+        minlength=dataset.n_users,
+    )
+    out = np.zeros(dataset.n_users, dtype=np.float64)
+    rated = counts > 0
+    out[rated] = sums[rated] / counts[rated]
+    return out
+
+
+def popularity_concentration(dataset: RatingDataset, *, top_fraction: float = 0.1) -> float:
+    """Share of the rating mass captured by the most popular ``top_fraction`` of items."""
+    if not 0.0 < top_fraction <= 1.0:
+        raise ConfigurationError(f"top_fraction must be in (0, 1], got {top_fraction}")
+    popularity = np.sort(dataset.item_popularity())[::-1].astype(np.float64)
+    total = popularity.sum()
+    if total == 0:
+        return 0.0
+    head = max(1, int(round(top_fraction * popularity.size)))
+    return float(popularity[:head].sum() / total)

@@ -1,0 +1,18 @@
+"""Evaluation protocols and the end-to-end evaluation pipeline."""
+
+from repro.evaluation.protocols import (
+    RankingProtocol,
+    AllUnratedItemsProtocol,
+    RatedTestItemsProtocol,
+    make_protocol,
+)
+from repro.evaluation.evaluator import Evaluator, EvaluationRun
+
+__all__ = [
+    "RankingProtocol",
+    "AllUnratedItemsProtocol",
+    "RatedTestItemsProtocol",
+    "make_protocol",
+    "Evaluator",
+    "EvaluationRun",
+]

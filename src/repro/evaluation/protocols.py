@@ -1,0 +1,97 @@
+"""Test ranking protocols (Appendix C of the paper).
+
+The protocol determines which items are ranked for each user at test time:
+
+* **All unrated items** — rank every item not in the user's train set.  This
+  is the protocol the paper uses for its main results, because it mirrors the
+  real task of picking N items out of the whole catalogue and is far less
+  popularity-biased.
+* **Rated test-items** — rank only the user's observed test items.  This
+  protocol strongly rewards popularity-biased algorithms; the appendix study
+  (Figures 7-8) quantifies the difference.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.data.dataset import RatingDataset
+from repro.exceptions import ConfigurationError
+from repro.recommenders.base import Recommender
+
+
+class RankingProtocol(ABC):
+    """Produces the per-user top-N sets a metric suite should evaluate."""
+
+    #: short name used in reports
+    name: str = "protocol"
+
+    @abstractmethod
+    def top_n(
+        self,
+        recommender: Recommender,
+        train: RatingDataset,
+        test: RatingDataset,
+        n: int,
+    ) -> dict[int, np.ndarray]:
+        """Return ``{user: top-N item array}`` under this protocol."""
+
+
+class AllUnratedItemsProtocol(RankingProtocol):
+    """Rank all items outside the user's train set (the paper's main protocol)."""
+
+    name = "all_unrated_items"
+
+    def top_n(
+        self,
+        recommender: Recommender,
+        train: RatingDataset,
+        test: RatingDataset,
+        n: int,
+    ) -> dict[int, np.ndarray]:
+        """Delegate to the recommender's own train-excluding top-N logic."""
+        del test  # the candidate pool ignores test information by design
+        result = recommender.recommend_all(n)
+        return result.as_dict()
+
+
+class RatedTestItemsProtocol(RankingProtocol):
+    """Rank only each user's observed test items (the biased protocol)."""
+
+    name = "rated_test_items"
+
+    def top_n(
+        self,
+        recommender: Recommender,
+        train: RatingDataset,
+        test: RatingDataset,
+        n: int,
+    ) -> dict[int, np.ndarray]:
+        """Score each user's test items and keep the best ``n`` of them."""
+        del train
+        out: dict[int, np.ndarray] = {}
+        for user in range(test.n_users):
+            candidates = test.user_items(user)
+            if candidates.size == 0:
+                out[user] = np.empty(0, dtype=np.int64)
+                continue
+            scores = recommender.predict_scores(user, candidates)
+            k = min(n, candidates.size)
+            top = np.argpartition(-scores, k - 1)[:k]
+            ordered = top[np.argsort(-scores[top], kind="stable")]
+            out[user] = candidates[ordered].astype(np.int64)
+        return out
+
+
+def make_protocol(name: str) -> RankingProtocol:
+    """Instantiate a ranking protocol by name."""
+    key = name.strip().lower()
+    if key in ("all_unrated_items", "all-unrated", "all"):
+        return AllUnratedItemsProtocol()
+    if key in ("rated_test_items", "rated-test", "rated"):
+        return RatedTestItemsProtocol()
+    raise ConfigurationError(
+        f"unknown ranking protocol {name!r}; use 'all_unrated_items' or 'rated_test_items'"
+    )

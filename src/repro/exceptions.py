@@ -1,0 +1,40 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError` so that callers can catch library failures with a single
+``except`` clause without swallowing unrelated programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DataError(ReproError):
+    """Raised when rating data is malformed or inconsistent."""
+
+
+class DataFormatError(DataError):
+    """Raised when a dataset file cannot be parsed in the expected format."""
+
+
+class SplitError(DataError):
+    """Raised when a train/test split cannot be produced as requested."""
+
+
+class NotFittedError(ReproError):
+    """Raised when a model is used before :meth:`fit` has been called."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a model or experiment is configured with invalid values."""
+
+
+class OptimizationError(ReproError):
+    """Raised when an iterative optimization fails to make progress."""
+
+
+class EvaluationError(ReproError):
+    """Raised when an evaluation request is inconsistent with the data."""

@@ -1,0 +1,36 @@
+"""Experiment harness: one module per table/figure of the paper's evaluation.
+
+Every module exposes a ``run_*`` function that executes the experiment at a
+configurable scale and returns structured results (rows / series), plus the
+shared :mod:`repro.experiments.runner` utilities that format them as the
+plain-text tables the paper reports.
+
+| Paper artefact | Module |
+|----------------|--------|
+| Table II (dataset statistics)            | :mod:`repro.experiments.table2`     |
+| Figure 1 (popularity vs activity)        | :mod:`repro.experiments.figure1`    |
+| Figure 2 (preference histograms)         | :mod:`repro.experiments.figure2`    |
+| Figures 3-4 (OSLG sample-size sweep)     | :mod:`repro.experiments.figure3_4`  |
+| Figure 5 (preference models x ARec x N)  | :mod:`repro.experiments.figure5`    |
+| Table IV (re-ranking comparison)         | :mod:`repro.experiments.table4`     |
+| Figure 6 (accuracy/coverage/novelty)     | :mod:`repro.experiments.figure6`    |
+| Table V (RSVD hyper-parameters)          | :mod:`repro.experiments.table5`     |
+| Figures 7-8 (ranking protocols)          | :mod:`repro.experiments.figure7_8`  |
+| Ablations (OSLG vs exact, ordering)      | :mod:`repro.experiments.ablations`  |
+"""
+
+from repro.experiments.datasets import (
+    ExperimentDataset,
+    EXPERIMENT_DATASETS,
+    load_experiment_split,
+)
+from repro.experiments.runner import ExperimentTable, SeriesResult, build_accuracy_recommender
+
+__all__ = [
+    "ExperimentDataset",
+    "EXPERIMENT_DATASETS",
+    "load_experiment_split",
+    "ExperimentTable",
+    "SeriesResult",
+    "build_accuracy_recommender",
+]

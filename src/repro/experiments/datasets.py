@@ -1,0 +1,120 @@
+"""Experiment dataset registry.
+
+Maps the paper's five evaluation datasets (Table II) onto their synthetic
+surrogates and the split parameters the paper uses (κ, τ).  Real data files
+can be substituted by loading them with :mod:`repro.data.loaders` and passing
+the resulting :class:`~repro.data.dataset.RatingDataset` through
+:func:`split_for_dataset`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.data.dataset import RatingDataset
+from repro.data.split import RatioSplitter, TrainTestSplit
+from repro.data.synthetic import DATASET_PROFILES, make_dataset
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import SeedLike
+
+
+@dataclass(frozen=True)
+class ExperimentDataset:
+    """One evaluation dataset of the paper and its surrogate parameters.
+
+    Attributes
+    ----------
+    key:
+        Registry key (``ml100k``, ``ml1m``, ``ml10m``, ``mt200k``, ``netflix``).
+    title:
+        Name used in the paper's tables.
+    profile:
+        Synthetic profile name in :data:`repro.data.synthetic.DATASET_PROFILES`.
+    train_ratio:
+        The paper's per-user split ratio κ.
+    min_user_ratings:
+        The paper's τ.
+    dense:
+        Whether the paper treats this dataset as a dense setting (drives the
+        choice of accuracy recommender in Section V-B).
+    """
+
+    key: str
+    title: str
+    profile: str
+    train_ratio: float
+    min_user_ratings: int
+    dense: bool
+
+
+EXPERIMENT_DATASETS: Mapping[str, ExperimentDataset] = {
+    "ml100k": ExperimentDataset(
+        key="ml100k", title="ML-100K", profile="ml100k",
+        train_ratio=0.5, min_user_ratings=20, dense=True,
+    ),
+    "ml1m": ExperimentDataset(
+        key="ml1m", title="ML-1M", profile="ml1m",
+        train_ratio=0.5, min_user_ratings=20, dense=True,
+    ),
+    "ml10m": ExperimentDataset(
+        key="ml10m", title="ML-10M", profile="ml10m",
+        train_ratio=0.5, min_user_ratings=20, dense=False,
+    ),
+    "mt200k": ExperimentDataset(
+        key="mt200k", title="MT-200K", profile="mt200k",
+        train_ratio=0.8, min_user_ratings=5, dense=False,
+    ),
+    "netflix": ExperimentDataset(
+        key="netflix", title="Netflix", profile="netflix",
+        train_ratio=0.5, min_user_ratings=10, dense=False,
+    ),
+}
+
+
+def load_experiment_split(
+    key: str,
+    *,
+    scale: float = 1.0,
+    seed: SeedLike = 0,
+) -> tuple[RatingDataset, TrainTestSplit]:
+    """Generate the surrogate dataset for ``key`` and split it per the paper.
+
+    Parameters
+    ----------
+    key:
+        Dataset registry key.
+    scale:
+        Multiplier on users/items/ratings; benches use small values so every
+        experiment fits in CI time budgets.
+    seed:
+        Seed for the train/test split (the dataset itself uses the profile
+        seed so the rating data is identical across runs).
+    """
+    if key not in EXPERIMENT_DATASETS:
+        raise ConfigurationError(
+            f"unknown experiment dataset {key!r}; available: {sorted(EXPERIMENT_DATASETS)}"
+        )
+    spec = EXPERIMENT_DATASETS[key]
+    dataset = make_dataset(spec.profile, scale=scale)
+    split = split_for_dataset(dataset, spec, seed=seed)
+    return dataset, split
+
+
+def split_for_dataset(
+    dataset: RatingDataset,
+    spec: ExperimentDataset,
+    *,
+    seed: SeedLike = 0,
+) -> TrainTestSplit:
+    """Split an (already loaded) dataset with the paper's κ for ``spec``."""
+    return RatioSplitter(spec.train_ratio, seed=seed).split(dataset)
+
+
+def profile_config(key: str):
+    """Return the synthetic profile configuration behind an experiment dataset."""
+    if key not in EXPERIMENT_DATASETS:
+        raise ConfigurationError(
+            f"unknown experiment dataset {key!r}; available: {sorted(EXPERIMENT_DATASETS)}"
+        )
+    return DATASET_PROFILES[EXPERIMENT_DATASETS[key].profile]

@@ -1,0 +1,94 @@
+"""Figure 1: average popularity of rated items versus user activity.
+
+For each user the paper computes the average train popularity of the items the
+user rated, bins users by their (normalized) number of rated items, and plots
+the mean of those averages per bin.  The downward trend — more active users
+rate less popular items on average — motivates the Activity preference
+measure θA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.dataset import RatingDataset
+from repro.exceptions import ConfigurationError
+from repro.experiments.datasets import EXPERIMENT_DATASETS, load_experiment_split
+from repro.experiments.runner import ExperimentTable, SeriesResult
+from repro.utils.rng import SeedLike
+
+
+@dataclass(frozen=True)
+class PopularityActivityCurve:
+    """Binned curve of average rated-item popularity versus user activity."""
+
+    dataset: str
+    series: SeriesResult
+
+    def is_decreasing_overall(self) -> bool:
+        """Whether the last bin's popularity is below the first bin's."""
+        ys = self.series.y
+        return len(ys) >= 2 and ys[-1] < ys[0]
+
+
+def popularity_vs_activity(
+    train: RatingDataset,
+    *,
+    n_bins: int = 10,
+    label: str = "dataset",
+) -> PopularityActivityCurve:
+    """Compute the Figure 1 curve for one train set."""
+    if n_bins < 1:
+        raise ConfigurationError(f"n_bins must be >= 1, got {n_bins}")
+    popularity = train.item_popularity().astype(np.float64)
+    activity = train.user_activity().astype(np.float64)
+
+    rated_users = np.flatnonzero(activity > 0)
+    avg_popularity = np.zeros(train.n_users, dtype=np.float64)
+    sums = np.bincount(
+        train.user_indices, weights=popularity[train.item_indices], minlength=train.n_users
+    )
+    avg_popularity[rated_users] = sums[rated_users] / activity[rated_users]
+
+    # Normalize activity to [0, 1] as in the paper's x-axis.
+    max_activity = float(activity[rated_users].max())
+    min_activity = float(activity[rated_users].min())
+    span = max(max_activity - min_activity, 1.0)
+    normalized = (activity[rated_users] - min_activity) / span
+
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    series = SeriesResult(label=label)
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        in_bin = (normalized >= lo) & (normalized < hi if hi < 1.0 else normalized <= hi)
+        if not in_bin.any():
+            continue
+        center = (lo + hi) / 2.0
+        series.add_point(center, float(avg_popularity[rated_users][in_bin].mean()))
+    return PopularityActivityCurve(dataset=label, series=series)
+
+
+def run_figure1(
+    *,
+    datasets: Sequence[str] | None = None,
+    scale: float = 1.0,
+    n_bins: int = 10,
+    seed: SeedLike = 0,
+) -> tuple[list[PopularityActivityCurve], ExperimentTable]:
+    """Regenerate the Figure 1 curves for the surrogate datasets."""
+    keys = list(datasets) if datasets is not None else list(EXPERIMENT_DATASETS)
+    curves: list[PopularityActivityCurve] = []
+    table = ExperimentTable(
+        title="Figure 1: avg popularity of rated items vs user activity",
+        headers=["Dataset", "activity bin", "avg popularity"],
+    )
+    for key in keys:
+        spec = EXPERIMENT_DATASETS[key]
+        _, split = load_experiment_split(key, scale=scale, seed=seed)
+        curve = popularity_vs_activity(split.train, n_bins=n_bins, label=spec.title)
+        curves.append(curve)
+        for x, y in zip(curve.series.x, curve.series.y):
+            table.add_row([spec.title, round(x, 3), round(y, 2)])
+    return curves, table

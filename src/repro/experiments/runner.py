@@ -1,0 +1,170 @@
+"""Shared utilities of the experiment harness.
+
+Provides the result containers every experiment returns (tables and series),
+construction helpers for the accuracy recommenders the paper plugs into GANC,
+and the rank-aggregation logic Table IV uses to compute per-algorithm average
+ranks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.metrics.report import MetricReport
+from repro.recommenders.base import Recommender
+from repro.recommenders.cofirank import CofiRank
+from repro.recommenders.popularity import MostPopular
+from repro.recommenders.puresvd import PureSVD
+from repro.recommenders.random import RandomRecommender
+from repro.recommenders.rsvd import RSVD
+from repro.utils.rng import SeedLike
+from repro.utils.tables import format_table
+
+
+@dataclass
+class ExperimentTable:
+    """A titled table of experiment results (one per paper table/figure panel)."""
+
+    title: str
+    headers: Sequence[str]
+    rows: list[list[object]] = field(default_factory=list)
+
+    def add_row(self, row: Sequence[object]) -> None:
+        """Append a row; its length must match the headers."""
+        if len(row) != len(self.headers):
+            raise ConfigurationError(
+                f"row has {len(row)} cells but the table has {len(self.headers)} columns"
+            )
+        self.rows.append(list(row))
+
+    def to_text(self, *, float_digits: int = 4) -> str:
+        """Render the table as fixed-width text."""
+        return format_table(self.headers, self.rows, title=self.title, float_digits=float_digits)
+
+    def column(self, name: str) -> list[object]:
+        """Extract a column by header name."""
+        if name not in self.headers:
+            raise ConfigurationError(f"no column named {name!r} in table {self.title!r}")
+        idx = list(self.headers).index(name)
+        return [row[idx] for row in self.rows]
+
+
+@dataclass
+class SeriesResult:
+    """A named series of (x, y) points, the unit behind the paper's figures."""
+
+    label: str
+    x: list[float] = field(default_factory=list)
+    y: list[float] = field(default_factory=list)
+
+    def add_point(self, x: float, y: float) -> None:
+        """Append one point to the series."""
+        self.x.append(float(x))
+        self.y.append(float(y))
+
+    def as_rows(self) -> list[list[float]]:
+        """Return the series as ``[x, y]`` rows."""
+        return [[x, y] for x, y in zip(self.x, self.y)]
+
+
+# --------------------------------------------------------------------------- #
+# Accuracy recommender construction
+# --------------------------------------------------------------------------- #
+def build_accuracy_recommender(
+    name: str,
+    *,
+    seed: SeedLike = 0,
+    scale_hint: float = 1.0,
+) -> Recommender:
+    """Build an accuracy recommender by the short name the paper uses.
+
+    The latent dimensionalities follow the paper (PSVD10/PSVD100, CofiR100,
+    RSVD with cross-validated factors).  ``scale_hint`` is the surrogate
+    dataset's scale factor: the SVD-family ranks are scaled with it so that
+    the factors-to-items ratio stays comparable to the paper's full-size
+    datasets (a 100-factor PureSVD on a 300-item surrogate would otherwise
+    reconstruct the zero-imputed matrix almost exactly and lose all
+    generalization).
+    """
+    key = name.strip().lower()
+    rank_scale = min(max(scale_hint, 0.05), 1.0)
+
+    def _scaled_rank(requested: int, *, minimum: int = 3) -> int:
+        return max(minimum, int(round(requested * rank_scale)))
+
+    if key == "pop":
+        return MostPopular()
+    if key == "rand":
+        return RandomRecommender(seed=seed)
+    if key == "rsvd":
+        return RSVD(n_factors=20, n_epochs=30, learning_rate=0.02, reg=0.05, seed=seed)
+    if key == "rsvdn":
+        return RSVD(
+            n_factors=20, n_epochs=30, learning_rate=0.02, reg=0.05,
+            non_negative=True, seed=seed,
+        )
+    if key.startswith("psvd"):
+        requested = int(key.removeprefix("psvd"))
+        return PureSVD(n_factors=_scaled_rank(requested))
+    if key.startswith("cofir"):
+        requested = int(key.removeprefix("cofir"))
+        return CofiRank(
+            n_factors=_scaled_rank(requested, minimum=5), reg=10.0, n_iterations=3, seed=seed
+        )
+    raise ConfigurationError(f"unknown accuracy recommender name {name!r}")
+
+
+# --------------------------------------------------------------------------- #
+# Rank aggregation (Table IV)
+# --------------------------------------------------------------------------- #
+#: Table IV metric order and orientation (True = higher is better).
+TABLE4_METRICS: Mapping[str, bool] = {
+    "f_measure": True,
+    "stratified_recall": True,
+    "lt_accuracy": True,
+    "coverage": True,
+    "gini": False,
+}
+
+
+def metric_ranks(
+    reports: Sequence[MetricReport],
+    metric: str,
+    *,
+    higher_is_better: bool = True,
+) -> list[int]:
+    """Competition ranks (1 = best) of the reports on one metric."""
+    values = np.array([report.metric(metric) for report in reports], dtype=np.float64)
+    ordered = -values if higher_is_better else values
+    order = np.argsort(ordered, kind="stable")
+    ranks = np.empty(len(reports), dtype=np.int64)
+    current_rank = 0
+    previous = None
+    for position, idx in enumerate(order):
+        value = ordered[idx]
+        if previous is None or value > previous + 1e-12:
+            current_rank = position + 1
+            previous = value
+        ranks[idx] = current_rank
+    return [int(r) for r in ranks]
+
+
+def average_ranks(
+    reports: Sequence[MetricReport],
+    metrics: Mapping[str, bool] | None = None,
+) -> list[float]:
+    """Average rank of each report across the Table IV metrics."""
+    metrics = metrics or TABLE4_METRICS
+    all_ranks = np.zeros((len(reports), len(metrics)), dtype=np.float64)
+    for column, (metric, higher_is_better) in enumerate(metrics.items()):
+        all_ranks[:, column] = metric_ranks(
+            reports, metric, higher_is_better=higher_is_better
+        )
+    return [float(v) for v in all_ranks.mean(axis=1)]
+
+
+RecommendationBuilder = Callable[[], Mapping[int, np.ndarray]]

@@ -1,0 +1,45 @@
+"""GANC: the Generic Accuracy/Novelty/Coverage re-ranking framework.
+
+This subpackage contains the paper's primary contribution:
+
+* :mod:`repro.ganc.value_function` — the per-user value function
+  ``v_u(P_u) = (1 − θ_u)·a(P_u) + θ_u·c(P_u)`` (Eq. III.1),
+* :mod:`repro.ganc.locally_greedy` — the exact Locally Greedy optimizer
+  (Fisher et al. 1/2-approximation for submodular maximization under a
+  partition matroid),
+* :mod:`repro.ganc.oslg` — Ordered Sampling-based Locally Greedy
+  (Algorithm 1), the scalable heuristic that samples users via a KDE of the
+  long-tail preference distribution and serves them in increasing θ order,
+* :mod:`repro.ganc.kde` — a small Gaussian kernel density estimator used by
+  OSLG for preference-proportionate sampling,
+* :mod:`repro.ganc.submodular` — objective evaluation and brute-force
+  optimum helpers used to validate the approximation guarantees,
+* :mod:`repro.ganc.framework` — the :class:`~repro.ganc.framework.GANC`
+  facade that wires an accuracy recommender, a preference model and a coverage
+  recommender together behind a single ``fit`` / ``recommend_all`` API.
+"""
+
+from repro.ganc.framework import GANC, GANCConfig
+from repro.ganc.value_function import UserValueFunction, combined_item_scores
+from repro.ganc.locally_greedy import LocallyGreedyOptimizer
+from repro.ganc.oslg import OSLGOptimizer, OSLGResult
+from repro.ganc.kde import GaussianKDE
+from repro.ganc.submodular import (
+    collection_value,
+    dynamic_coverage_value,
+    brute_force_best_collection,
+)
+
+__all__ = [
+    "GANC",
+    "GANCConfig",
+    "UserValueFunction",
+    "combined_item_scores",
+    "LocallyGreedyOptimizer",
+    "OSLGOptimizer",
+    "OSLGResult",
+    "GaussianKDE",
+    "collection_value",
+    "dynamic_coverage_value",
+    "brute_force_best_collection",
+]

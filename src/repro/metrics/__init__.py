@@ -1,0 +1,49 @@
+"""Performance metrics (Table III of the paper) plus standard error metrics.
+
+* Local ranking accuracy: Precision@N, Recall@N, F-measure@N (computed per
+  user over highly rated test items, then averaged).
+* Long-tail promotion: LTAccuracy@N and Stratified Recall@N.
+* Coverage: Coverage@N and the Gini coefficient of the recommendation
+  frequency distribution.
+* Rating-prediction error: RMSE and MAE (for the Table V appendix study).
+* Ranking quality: NDCG@N (used when comparing CofiRank configurations).
+"""
+
+from repro.metrics.accuracy import (
+    precision_at_n,
+    recall_at_n,
+    f_measure_at_n,
+    ndcg_at_n,
+    rmse,
+    mae,
+)
+from repro.metrics.longtail import lt_accuracy_at_n, stratified_recall_at_n
+from repro.metrics.coverage import coverage_at_n, gini_at_n, recommendation_frequencies
+from repro.metrics.report import MetricReport, evaluate_top_n, relevant_test_items
+from repro.metrics.beyond import (
+    expected_popularity_complement,
+    average_recommendation_popularity,
+    personalization,
+    intra_list_dissimilarity,
+)
+
+__all__ = [
+    "precision_at_n",
+    "recall_at_n",
+    "f_measure_at_n",
+    "ndcg_at_n",
+    "rmse",
+    "mae",
+    "lt_accuracy_at_n",
+    "stratified_recall_at_n",
+    "coverage_at_n",
+    "gini_at_n",
+    "recommendation_frequencies",
+    "MetricReport",
+    "evaluate_top_n",
+    "relevant_test_items",
+    "expected_popularity_complement",
+    "average_recommendation_popularity",
+    "personalization",
+    "intra_list_dissimilarity",
+]

@@ -1,0 +1,130 @@
+"""Local ranking accuracy metrics and rating-prediction error metrics.
+
+Following the paper (Table III), precision and recall are computed per user
+against the user's *relevant* test items — the test items rated at or above a
+relevance threshold (4.0 on a 5-star scale) — and then averaged over users.
+The paper's Precision@N divides by ``N`` for every user and averages across
+all users with relevant test items.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import EvaluationError
+
+
+def _as_set(items: Sequence[int] | np.ndarray) -> set[int]:
+    return {int(i) for i in np.asarray(items, dtype=np.int64).ravel().tolist()}
+
+
+def precision_at_n(
+    recommendations: Mapping[int, np.ndarray],
+    relevant: Mapping[int, np.ndarray],
+    n: int,
+) -> float:
+    """Average proportion of the top-N set that is a relevant test item.
+
+    Users without any relevant test items are skipped, matching the common
+    evaluation convention (their precision is undefined).
+    """
+    if n < 1:
+        raise EvaluationError(f"n must be >= 1, got {n}")
+    total = 0.0
+    counted = 0
+    for user, rel_items in relevant.items():
+        rel = _as_set(rel_items)
+        if not rel:
+            continue
+        recs = _as_set(recommendations.get(user, np.empty(0)))
+        total += len(recs & rel) / float(n)
+        counted += 1
+    return total / counted if counted else 0.0
+
+
+def recall_at_n(
+    recommendations: Mapping[int, np.ndarray],
+    relevant: Mapping[int, np.ndarray],
+    n: int,
+) -> float:
+    """Average proportion of each user's relevant test items that were retrieved."""
+    if n < 1:
+        raise EvaluationError(f"n must be >= 1, got {n}")
+    del n  # recall does not depend on N beyond the recommendation set size
+    total = 0.0
+    counted = 0
+    for user, rel_items in relevant.items():
+        rel = _as_set(rel_items)
+        if not rel:
+            continue
+        recs = _as_set(recommendations.get(user, np.empty(0)))
+        total += len(recs & rel) / float(len(rel))
+        counted += 1
+    return total / counted if counted else 0.0
+
+
+def f_measure_at_n(
+    recommendations: Mapping[int, np.ndarray],
+    relevant: Mapping[int, np.ndarray],
+    n: int,
+) -> float:
+    """Harmonic mean of Precision@N and Recall@N (0 when both are 0)."""
+    precision = precision_at_n(recommendations, relevant, n)
+    recall = recall_at_n(recommendations, relevant, n)
+    if precision + recall == 0.0:
+        return 0.0
+    return precision * recall / (precision + recall)
+
+
+def ndcg_at_n(
+    recommendations: Mapping[int, np.ndarray],
+    relevant: Mapping[int, np.ndarray],
+    n: int,
+) -> float:
+    """Binary-relevance NDCG@N averaged over users with relevant test items."""
+    if n < 1:
+        raise EvaluationError(f"n must be >= 1, got {n}")
+    discounts = 1.0 / np.log2(np.arange(2, n + 2))
+    total = 0.0
+    counted = 0
+    for user, rel_items in relevant.items():
+        rel = _as_set(rel_items)
+        if not rel:
+            continue
+        recs = np.asarray(recommendations.get(user, np.empty(0)), dtype=np.int64)[:n]
+        gains = np.array([1.0 if int(item) in rel else 0.0 for item in recs])
+        dcg = float((gains * discounts[: gains.size]).sum())
+        ideal_hits = min(len(rel), n)
+        idcg = float(discounts[:ideal_hits].sum())
+        total += dcg / idcg if idcg > 0 else 0.0
+        counted += 1
+    return total / counted if counted else 0.0
+
+
+def rmse(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Root-mean-square error between predicted and observed ratings."""
+    preds = np.asarray(predictions, dtype=np.float64)
+    obs = np.asarray(targets, dtype=np.float64)
+    if preds.shape != obs.shape:
+        raise EvaluationError(
+            f"predictions and targets must align, got {preds.shape} vs {obs.shape}"
+        )
+    if preds.size == 0:
+        return float("nan")
+    err = preds - obs
+    return float(np.sqrt(np.mean(err * err)))
+
+
+def mae(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Mean absolute error between predicted and observed ratings."""
+    preds = np.asarray(predictions, dtype=np.float64)
+    obs = np.asarray(targets, dtype=np.float64)
+    if preds.shape != obs.shape:
+        raise EvaluationError(
+            f"predictions and targets must align, got {preds.shape} vs {obs.shape}"
+        )
+    if preds.size == 0:
+        return float("nan")
+    return float(np.mean(np.abs(preds - obs)))

@@ -1,0 +1,129 @@
+"""Additional beyond-accuracy metrics from the recommender-systems literature.
+
+The paper's related-work section situates GANC among novelty/diversity-aware
+recommenders (Castells et al., Vargas & Castells, Ziegler et al.).  These
+metrics are not part of Table III but are standard companions when analysing
+re-ranking behaviour, and the examples / ablations use them:
+
+* **Expected popularity complement (EPC)** — mean self-information-style
+  novelty of the recommended items: ``1 − pop(i)/max_pop`` averaged over all
+  recommended slots.  High EPC means the lists consist of items few users have
+  interacted with.
+* **Average recommendation popularity (ARP)** — the raw mean train popularity
+  of recommended items (lower = more novel), often reported alongside EPC.
+* **Personalization** — average pairwise dissimilarity (1 − Jaccard) between
+  the top-N sets of different users.  Non-personalized models like Pop score 0.
+* **Intra-list dissimilarity** — average pairwise dissimilarity of the items
+  *within* a user's list, with item similarity taken from co-rating patterns;
+  this is the aggregate-diversity counterpart used by Ziegler et al.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Mapping
+
+import numpy as np
+from scipy import sparse
+
+from repro.data.dataset import RatingDataset
+from repro.exceptions import EvaluationError
+
+
+def expected_popularity_complement(
+    recommendations: Mapping[int, np.ndarray],
+    train_popularity: np.ndarray,
+) -> float:
+    """Mean novelty ``1 − pop(i)/max_pop`` over all recommended slots."""
+    popularity = np.asarray(train_popularity, dtype=np.float64)
+    if popularity.size == 0:
+        raise EvaluationError("train_popularity must not be empty")
+    max_pop = max(float(popularity.max()), 1.0)
+    total = 0.0
+    count = 0
+    for items in recommendations.values():
+        items = np.asarray(items, dtype=np.int64)
+        if items.size == 0:
+            continue
+        total += float((1.0 - popularity[items] / max_pop).sum())
+        count += items.size
+    return total / count if count else 0.0
+
+
+def average_recommendation_popularity(
+    recommendations: Mapping[int, np.ndarray],
+    train_popularity: np.ndarray,
+) -> float:
+    """Mean train popularity of the recommended items (lower = more novel)."""
+    popularity = np.asarray(train_popularity, dtype=np.float64)
+    total = 0.0
+    count = 0
+    for items in recommendations.values():
+        items = np.asarray(items, dtype=np.int64)
+        if items.size == 0:
+            continue
+        total += float(popularity[items].sum())
+        count += items.size
+    return total / count if count else 0.0
+
+
+def personalization(
+    recommendations: Mapping[int, np.ndarray],
+    *,
+    max_pairs: int = 5_000,
+    seed: int = 0,
+) -> float:
+    """Average pairwise (1 − Jaccard) dissimilarity between users' top-N sets.
+
+    For large user counts a random sample of ``max_pairs`` user pairs is used;
+    the estimate is deterministic for a fixed seed.
+    """
+    users = [u for u, items in recommendations.items() if np.asarray(items).size > 0]
+    if len(users) < 2:
+        return 0.0
+    sets = {u: set(np.asarray(recommendations[u]).tolist()) for u in users}
+    pairs = list(combinations(users, 2))
+    if len(pairs) > max_pairs:
+        rng = np.random.default_rng(seed)
+        chosen = rng.choice(len(pairs), size=max_pairs, replace=False)
+        pairs = [pairs[int(i)] for i in chosen]
+    total = 0.0
+    for a, b in pairs:
+        union = len(sets[a] | sets[b])
+        if union == 0:
+            continue
+        jaccard = len(sets[a] & sets[b]) / union
+        total += 1.0 - jaccard
+    return total / len(pairs) if pairs else 0.0
+
+
+def _item_cosine_similarity(train: RatingDataset) -> sparse.csr_matrix:
+    """Binary co-rating cosine similarity between items (sparse)."""
+    matrix = train.to_csr().copy()
+    matrix.data = np.ones_like(matrix.data)
+    gram = (matrix.T @ matrix).tocsr()
+    counts = np.asarray(gram.diagonal()).ravel()
+    norms = np.sqrt(np.maximum(counts, 1.0))
+    # Normalize rows and columns by the item norms.
+    inverse = sparse.diags(1.0 / norms)
+    return (inverse @ gram @ inverse).tocsr()
+
+
+def intra_list_dissimilarity(
+    recommendations: Mapping[int, np.ndarray],
+    train: RatingDataset,
+) -> float:
+    """Average pairwise (1 − cosine co-rating similarity) within each user's list."""
+    similarity = _item_cosine_similarity(train)
+    total = 0.0
+    counted_users = 0
+    for items in recommendations.values():
+        items = np.asarray(items, dtype=np.int64)
+        if items.size < 2:
+            continue
+        sub = similarity[items][:, items].toarray()
+        pair_count = items.size * (items.size - 1) / 2
+        upper = np.triu(sub, k=1)
+        total += float(pair_count - upper.sum()) / pair_count
+        counted_users += 1
+    return total / counted_users if counted_users else 0.0

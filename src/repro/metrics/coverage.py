@@ -1,0 +1,58 @@
+"""Item-space coverage metrics: Coverage@N and the Gini coefficient.
+
+* ``Coverage@N`` is the fraction of the item universe that appears in at
+  least one user's top-N set.
+* ``Gini@N`` measures the inequality of the recommendation frequency
+  distribution over items: 0 means every item is recommended equally often,
+  values close to 1 mean recommendations concentrate on a few items.  The
+  paper uses the Lorenz-curve formulation of Table III with the frequency
+  vector sorted in non-decreasing order.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.exceptions import EvaluationError
+
+
+def recommendation_frequencies(
+    recommendations: Mapping[int, np.ndarray], n_items: int
+) -> np.ndarray:
+    """How often each item occurs across all users' top-N sets."""
+    if n_items < 1:
+        raise EvaluationError(f"n_items must be >= 1, got {n_items}")
+    freq = np.zeros(n_items, dtype=np.int64)
+    for _, items in recommendations.items():
+        items = np.asarray(items, dtype=np.int64)
+        if items.size:
+            np.add.at(freq, items, 1)
+    return freq
+
+
+def coverage_at_n(recommendations: Mapping[int, np.ndarray], n_items: int) -> float:
+    """Fraction of distinct items recommended to at least one user."""
+    freq = recommendation_frequencies(recommendations, n_items)
+    return float(np.count_nonzero(freq)) / float(n_items)
+
+
+def gini_at_n(recommendations: Mapping[int, np.ndarray], n_items: int) -> float:
+    """Gini coefficient of the recommendation frequency distribution.
+
+    Computed with the Lorenz-curve formula over the frequency vector sorted in
+    non-decreasing order; an all-zero frequency vector (no recommendations)
+    returns 1.0, the maximally unequal convention.
+    """
+    freq = recommendation_frequencies(recommendations, n_items).astype(np.float64)
+    total = freq.sum()
+    if total <= 0:
+        return 1.0
+    sorted_freq = np.sort(freq)
+    count = sorted_freq.size
+    ranks = np.arange(1, count + 1, dtype=np.float64)
+    # Gini = (|I| + 1 - 2 * Σ (|I| + 1 - j) f[j] / Σ f[j]) / |I| with f sorted
+    # in non-decreasing order, as in Table III.
+    weighted = float(((count + 1 - ranks) * sorted_freq).sum())
+    return float((count + 1 - 2.0 * weighted / total) / count)

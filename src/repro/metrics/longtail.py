@@ -1,0 +1,74 @@
+"""Long-tail promotion metrics: LTAccuracy@N and Stratified Recall@N.
+
+* ``LTAccuracy@N`` (Ho et al., 2014) is the average proportion of the top-N
+  set made of long-tail items — items the user is unlikely to already know.
+  It emphasizes a combination of novelty and coverage.
+* ``Stratified Recall@N`` (Steck, 2013) re-weights recalled test items by the
+  inverse of their train popularity raised to ``β`` (0.5 in the paper),
+  measuring how well a model compensates for the popularity bias while still
+  retrieving relevant items — a combination of novelty and accuracy.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.exceptions import EvaluationError
+
+
+def lt_accuracy_at_n(
+    recommendations: Mapping[int, np.ndarray],
+    long_tail_mask: np.ndarray,
+    n: int,
+) -> float:
+    """Average fraction of recommended items that are long-tail.
+
+    ``long_tail_mask`` is a boolean vector over the item universe.
+    """
+    if n < 1:
+        raise EvaluationError(f"n must be >= 1, got {n}")
+    mask = np.asarray(long_tail_mask, dtype=bool)
+    total = 0.0
+    counted = 0
+    for _, items in recommendations.items():
+        items = np.asarray(items, dtype=np.int64)
+        total += float(mask[items].sum()) / float(n) if items.size else 0.0
+        counted += 1
+    return total / counted if counted else 0.0
+
+
+def stratified_recall_at_n(
+    recommendations: Mapping[int, np.ndarray],
+    relevant: Mapping[int, np.ndarray],
+    train_popularity: np.ndarray,
+    *,
+    beta: float = 0.5,
+) -> float:
+    """Popularity-stratified recall with exponent ``beta``.
+
+    The numerator accumulates ``(1 / f^R_i)^β`` over relevant test items that
+    appear in the user's top-N set; the denominator accumulates the same
+    weight over *all* relevant test items.  Items that never occur in train
+    would have infinite weight, so their popularity is floored at 1 (they can
+    only hurt a model that fails to recommend them, mirroring the metric's
+    published behaviour on pruned evaluation sets).
+    """
+    if beta < 0:
+        raise EvaluationError(f"beta must be non-negative, got {beta}")
+    popularity = np.asarray(train_popularity, dtype=np.float64)
+    weights = 1.0 / np.maximum(popularity, 1.0) ** beta
+
+    numerator = 0.0
+    denominator = 0.0
+    for user, rel_items in relevant.items():
+        rel = np.asarray(rel_items, dtype=np.int64)
+        if rel.size == 0:
+            continue
+        rec_set = {int(i) for i in np.asarray(recommendations.get(user, ()), dtype=np.int64)}
+        rel_weights = weights[rel]
+        denominator += float(rel_weights.sum())
+        hits = np.array([int(item) in rec_set for item in rel])
+        numerator += float(rel_weights[hits].sum())
+    return numerator / denominator if denominator > 0 else 0.0

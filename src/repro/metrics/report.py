@@ -1,0 +1,129 @@
+"""Aggregated metric reports for a top-N recommendation run.
+
+:func:`evaluate_top_n` computes every Table III metric for one algorithm on
+one dataset split and returns a :class:`MetricReport`, the unit the experiment
+harness aggregates into the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.data.dataset import RatingDataset
+from repro.data.popularity import PopularityStats
+from repro.exceptions import EvaluationError
+from repro.metrics.accuracy import (
+    f_measure_at_n,
+    ndcg_at_n,
+    precision_at_n,
+    recall_at_n,
+)
+from repro.metrics.coverage import coverage_at_n, gini_at_n
+from repro.metrics.longtail import lt_accuracy_at_n, stratified_recall_at_n
+
+
+def relevant_test_items(
+    test: RatingDataset, *, relevance_threshold: float = 4.0
+) -> dict[int, np.ndarray]:
+    """Per-user relevant test items: test items rated >= the threshold.
+
+    This is the paper's ``I^{T+}_u`` set.  Users with no relevant test items
+    map to empty arrays (they are skipped by the accuracy metrics).
+    """
+    relevant: dict[int, np.ndarray] = {u: np.empty(0, dtype=np.int64) for u in range(test.n_users)}
+    mask = test.ratings >= relevance_threshold
+    users = test.user_indices[mask]
+    items = test.item_indices[mask]
+    order = np.argsort(users, kind="stable")
+    users, items = users[order], items[order]
+    boundaries = np.flatnonzero(np.diff(users)) + 1
+    for group in np.split(np.arange(users.size), boundaries):
+        if group.size == 0:
+            continue
+        user = int(users[group[0]])
+        relevant[user] = items[group].astype(np.int64)
+    return relevant
+
+
+@dataclass(frozen=True)
+class MetricReport:
+    """All Table III metrics of one algorithm on one dataset split.
+
+    The ``extras`` mapping carries optional additional values (NDCG, timing,
+    hyper-parameters) without widening the core schema.
+    """
+
+    algorithm: str
+    dataset: str
+    n: int
+    precision: float
+    recall: float
+    f_measure: float
+    lt_accuracy: float
+    stratified_recall: float
+    coverage: float
+    gini: float
+    extras: Mapping[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, float]:
+        """Core metrics as a flat dictionary (used by table formatting)."""
+        return {
+            "precision": self.precision,
+            "recall": self.recall,
+            "f_measure": self.f_measure,
+            "lt_accuracy": self.lt_accuracy,
+            "stratified_recall": self.stratified_recall,
+            "coverage": self.coverage,
+            "gini": self.gini,
+        }
+
+    def metric(self, name: str) -> float:
+        """Look up a metric by name (core metrics first, then extras)."""
+        core = self.as_dict()
+        if name in core:
+            return core[name]
+        if name in self.extras:
+            return float(self.extras[name])
+        raise EvaluationError(f"unknown metric {name!r} in report for {self.algorithm}")
+
+
+def evaluate_top_n(
+    recommendations: Mapping[int, np.ndarray],
+    train: RatingDataset,
+    test: RatingDataset,
+    n: int,
+    *,
+    algorithm: str = "algorithm",
+    relevance_threshold: float = 4.0,
+    beta: float = 0.5,
+    popularity: PopularityStats | None = None,
+    include_ndcg: bool = False,
+) -> MetricReport:
+    """Compute the full Table III metric suite for one recommendation run."""
+    if n < 1:
+        raise EvaluationError(f"n must be >= 1, got {n}")
+    stats = popularity if popularity is not None else PopularityStats.from_dataset(train)
+    relevant = relevant_test_items(test, relevance_threshold=relevance_threshold)
+
+    extras: dict[str, float] = {}
+    if include_ndcg:
+        extras["ndcg"] = ndcg_at_n(recommendations, relevant, n)
+
+    return MetricReport(
+        algorithm=algorithm,
+        dataset=train.name,
+        n=n,
+        precision=precision_at_n(recommendations, relevant, n),
+        recall=recall_at_n(recommendations, relevant, n),
+        f_measure=f_measure_at_n(recommendations, relevant, n),
+        lt_accuracy=lt_accuracy_at_n(recommendations, stats.long_tail_mask, n),
+        stratified_recall=stratified_recall_at_n(
+            recommendations, relevant, stats.popularity, beta=beta
+        ),
+        coverage=coverage_at_n(recommendations, train.n_items),
+        gini=gini_at_n(recommendations, train.n_items),
+        extras=extras,
+    )

@@ -1,0 +1,142 @@
+"""Comparative analysis of long-tail preference estimators.
+
+Section II motivates the generalized estimator θG by arguing that the simpler
+measures discard information (activity ignores *which* items, the long-tail
+fraction ignores ratings, TFIDF ignores the other raters).  This module makes
+those relationships measurable: pairwise rank correlations between estimators,
+agreement on the most exploratory users, and a dispersion summary that the
+Figure 2 discussion refers to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.data.dataset import RatingDataset
+from repro.exceptions import ConfigurationError
+from repro.preferences.base import PreferenceModel, PreferenceResult
+from repro.preferences.generalized import GeneralizedPreference
+from repro.preferences.simple import (
+    ActivityPreference,
+    NormalizedLongTailPreference,
+    TfidfPreference,
+)
+
+
+def default_estimators() -> dict[str, PreferenceModel]:
+    """The four data-driven estimators of Figure 2, keyed by the paper's symbols."""
+    return {
+        "thetaA": ActivityPreference(),
+        "thetaN": NormalizedLongTailPreference(),
+        "thetaT": TfidfPreference(),
+        "thetaG": GeneralizedPreference(),
+    }
+
+
+@dataclass(frozen=True)
+class PreferenceComparison:
+    """Pairwise comparison of fitted preference vectors.
+
+    Attributes
+    ----------
+    estimates:
+        ``{model name: PreferenceResult}`` for every compared model.
+    spearman:
+        ``{(model a, model b): rank correlation}`` for every unordered pair.
+    top_user_overlap:
+        ``{(model a, model b): Jaccard overlap}`` of the top-decile users.
+    """
+
+    estimates: Mapping[str, PreferenceResult]
+    spearman: Mapping[tuple[str, str], float]
+    top_user_overlap: Mapping[tuple[str, str], float]
+
+    def most_correlated_pair(self) -> tuple[str, str]:
+        """The pair of estimators with the highest rank correlation."""
+        return max(self.spearman, key=lambda pair: self.spearman[pair])
+
+    def correlation(self, model_a: str, model_b: str) -> float:
+        """Rank correlation of two models (order-insensitive)."""
+        if (model_a, model_b) in self.spearman:
+            return self.spearman[(model_a, model_b)]
+        if (model_b, model_a) in self.spearman:
+            return self.spearman[(model_b, model_a)]
+        raise ConfigurationError(f"no correlation recorded for {model_a!r} / {model_b!r}")
+
+
+def _top_decile_users(theta: np.ndarray) -> set[int]:
+    count = max(1, theta.size // 10)
+    return set(np.argsort(-theta, kind="stable")[:count].tolist())
+
+
+def compare_preference_models(
+    train: RatingDataset,
+    *,
+    estimators: Mapping[str, PreferenceModel] | None = None,
+) -> PreferenceComparison:
+    """Fit all estimators on ``train`` and compare them pairwise."""
+    models = dict(estimators) if estimators is not None else default_estimators()
+    if len(models) < 2:
+        raise ConfigurationError("need at least two estimators to compare")
+
+    estimates = {name: model.estimate(train) for name, model in models.items()}
+    names = list(estimates)
+
+    spearman: dict[tuple[str, str], float] = {}
+    overlap: dict[tuple[str, str], float] = {}
+    for idx, name_a in enumerate(names):
+        for name_b in names[idx + 1:]:
+            theta_a = estimates[name_a].theta
+            theta_b = estimates[name_b].theta
+            if theta_a.std() == 0 or theta_b.std() == 0:
+                correlation = 0.0
+            else:
+                correlation = float(scipy_stats.spearmanr(theta_a, theta_b).statistic)
+            spearman[(name_a, name_b)] = correlation
+
+            top_a = _top_decile_users(theta_a)
+            top_b = _top_decile_users(theta_b)
+            union = len(top_a | top_b)
+            overlap[(name_a, name_b)] = len(top_a & top_b) / union if union else 0.0
+
+    return PreferenceComparison(
+        estimates=estimates, spearman=spearman, top_user_overlap=overlap
+    )
+
+
+def dispersion_summary(estimates: Mapping[str, PreferenceResult]) -> dict[str, dict[str, float]]:
+    """Mean / std / interquartile range per estimator (Figure 2's comparison)."""
+    summary: dict[str, dict[str, float]] = {}
+    for name, result in estimates.items():
+        theta = result.theta
+        q25, q75 = np.percentile(theta, [25, 75]) if theta.size else (0.0, 0.0)
+        summary[name] = {
+            "mean": float(theta.mean()) if theta.size else 0.0,
+            "std": float(theta.std()) if theta.size else 0.0,
+            "iqr": float(q75 - q25),
+        }
+    return summary
+
+
+def preference_shift_users(
+    baseline: PreferenceResult,
+    refined: PreferenceResult,
+    *,
+    top_k: int = 10,
+) -> Sequence[int]:
+    """Users whose preference changed the most between two estimators.
+
+    Useful for inspecting what the generalized optimization adds over the
+    TFIDF average: the returned users are where the item-weighting matters.
+    """
+    if baseline.theta.shape != refined.theta.shape:
+        raise ConfigurationError("preference vectors must cover the same users")
+    if top_k < 1:
+        raise ConfigurationError(f"top_k must be >= 1, got {top_k}")
+    delta = np.abs(refined.theta - baseline.theta)
+    order = np.argsort(-delta, kind="stable")[: min(top_k, delta.size)]
+    return [int(u) for u in order]

@@ -1,0 +1,73 @@
+"""Abstract interface of long-tail novelty preference estimators."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import RatingDataset
+from repro.data.popularity import PopularityStats
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PreferenceResult:
+    """A fitted preference vector θ together with the model that produced it.
+
+    Attributes
+    ----------
+    theta:
+        Array of shape ``(n_users,)`` with values in ``[0, 1]``.
+    model_name:
+        Short identifier (``"activity"``, ``"tfidf"``, ``"generalized"``, ...)
+        used in experiment reports.
+    """
+
+    theta: np.ndarray
+    model_name: str
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.theta, dtype=np.float64)
+        if arr.ndim != 1:
+            raise ConfigurationError(f"theta must be 1-D, got shape {arr.shape}")
+        if arr.size and (arr.min() < -1e-9 or arr.max() > 1.0 + 1e-9):
+            raise ConfigurationError(
+                f"theta values must lie in [0, 1]; got range [{arr.min()}, {arr.max()}]"
+            )
+        object.__setattr__(self, "theta", np.clip(arr, 0.0, 1.0))
+
+    @property
+    def n_users(self) -> int:
+        """Number of users covered by the estimate."""
+        return int(self.theta.size)
+
+    def for_user(self, user: int) -> float:
+        """Preference value of a single user."""
+        return float(self.theta[user])
+
+
+class PreferenceModel(ABC):
+    """Base class: estimate per-user long-tail novelty preferences from train data."""
+
+    #: short name used in reports and in the registry
+    name: str = "preference"
+
+    @abstractmethod
+    def estimate(
+        self,
+        train: RatingDataset,
+        *,
+        popularity: PopularityStats | None = None,
+    ) -> PreferenceResult:
+        """Return a :class:`PreferenceResult` for every user in ``train``.
+
+        ``popularity`` may be supplied to reuse precomputed statistics; models
+        that need it compute it from ``train`` when omitted.
+        """
+
+    def _popularity(
+        self, train: RatingDataset, popularity: PopularityStats | None
+    ) -> PopularityStats:
+        return popularity if popularity is not None else PopularityStats.from_dataset(train)

@@ -1,0 +1,52 @@
+"""Name-based construction of preference models.
+
+The experiment harness refers to preference models by the symbols the paper
+uses in Figure 5: ``thetaA``, ``thetaN``, ``thetaT``, ``thetaG``, ``thetaR``,
+``thetaC``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.exceptions import ConfigurationError
+from repro.preferences.base import PreferenceModel
+from repro.preferences.generalized import GeneralizedPreference
+from repro.preferences.simple import (
+    ActivityPreference,
+    ConstantPreference,
+    NormalizedLongTailPreference,
+    RandomPreference,
+    TfidfPreference,
+)
+
+PreferenceFactory = Callable[..., PreferenceModel]
+
+PREFERENCE_REGISTRY: Mapping[str, PreferenceFactory] = {
+    "thetaa": lambda **kw: ActivityPreference(),
+    "thetan": lambda **kw: NormalizedLongTailPreference(),
+    "thetat": lambda **kw: TfidfPreference(),
+    "thetag": lambda **kw: GeneralizedPreference(
+        max_iterations=kw.get("max_iterations", 50),
+        tolerance=kw.get("tolerance", 1e-6),
+    ),
+    "thetar": lambda **kw: RandomPreference(seed=kw.get("seed", None)),
+    "thetac": lambda **kw: ConstantPreference(value=kw.get("value", 0.5)),
+    # Long-form aliases.
+    "activity": lambda **kw: ActivityPreference(),
+    "long_tail_fraction": lambda **kw: NormalizedLongTailPreference(),
+    "tfidf": lambda **kw: TfidfPreference(),
+    "generalized": lambda **kw: GeneralizedPreference(),
+    "random": lambda **kw: RandomPreference(seed=kw.get("seed", None)),
+    "constant": lambda **kw: ConstantPreference(value=kw.get("value", 0.5)),
+}
+
+
+def make_preference_model(name: str, **kwargs: object) -> PreferenceModel:
+    """Instantiate a preference model from its (case-insensitive) name."""
+    key = name.strip().lower().replace("θ", "theta")
+    if key not in PREFERENCE_REGISTRY:
+        raise ConfigurationError(
+            f"unknown preference model {name!r}; available: {sorted(PREFERENCE_REGISTRY)}"
+        )
+    return PREFERENCE_REGISTRY[key](**kwargs)

@@ -1,0 +1,156 @@
+"""Simple long-tail novelty preference measures (Section II-B of the paper).
+
+All estimators return values in ``[0, 1]``:
+
+* :class:`ActivityPreference` — ``θA_u = |I^R_u|``, min-max normalized across
+  users.  Motivated by Figure 1: the more a user rates, the less popular their
+  rated items tend to be, but activity alone says nothing about which items.
+* :class:`NormalizedLongTailPreference` — ``θN_u = |I^R_u ∩ L| / |I^R_u|``
+  (Eq. II.1), the fraction of the user's rated items that are long-tail.
+* :class:`TfidfPreference` — ``θT_u`` (Eq. II.2) averages the per-user-item
+  preference values ``θ_ui = r_ui · log(|U| / |U^R_i|)``, combining the user's
+  interest (rating) with the inverse popularity of the item.
+* :class:`RandomPreference` / :class:`ConstantPreference` — the θR / θC
+  control models of Figure 5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import RatingDataset
+from repro.data.popularity import PopularityStats
+from repro.exceptions import ConfigurationError
+from repro.preferences.base import PreferenceModel, PreferenceResult
+from repro.utils.normalization import min_max_normalize
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def per_user_item_preference(
+    train: RatingDataset,
+    *,
+    normalize: bool = True,
+) -> np.ndarray:
+    """Per-interaction preference values ``θ_ui = r_ui · log(|U| / |U^R_i|)``.
+
+    Returns an array aligned with ``train``'s interaction arrays.  When
+    ``normalize`` is True the values are min-max projected onto ``[0, 1]``,
+    which the paper requires before running the generalized (minimax)
+    optimization so that ``|θ_ui − θG_u| <= 1``.
+    """
+    popularity = train.item_popularity().astype(np.float64)
+    item_pop = popularity[train.item_indices]
+    # Items can only appear in interactions if they have at least one rating,
+    # so item_pop is strictly positive here.
+    inverse_popularity = np.log(train.n_users / item_pop)
+    theta_ui = train.ratings * inverse_popularity
+    if normalize:
+        theta_ui = min_max_normalize(theta_ui)
+    return theta_ui
+
+
+class ActivityPreference(PreferenceModel):
+    """``θA``: user activity (number of rated items), normalized to [0, 1]."""
+
+    name = "activity"
+
+    def estimate(
+        self,
+        train: RatingDataset,
+        *,
+        popularity: PopularityStats | None = None,
+    ) -> PreferenceResult:
+        """Count each user's train ratings and min-max normalize."""
+        del popularity  # not needed
+        activity = train.user_activity().astype(np.float64)
+        return PreferenceResult(theta=min_max_normalize(activity), model_name=self.name)
+
+
+class NormalizedLongTailPreference(PreferenceModel):
+    """``θN``: fraction of the user's rated items that are long-tail (Eq. II.1)."""
+
+    name = "long_tail_fraction"
+
+    def estimate(
+        self,
+        train: RatingDataset,
+        *,
+        popularity: PopularityStats | None = None,
+    ) -> PreferenceResult:
+        """Compute ``|I_u ∩ L| / |I_u|`` per user."""
+        stats = self._popularity(train, popularity)
+        tail_mask = stats.long_tail_mask
+        is_tail = tail_mask[train.item_indices].astype(np.float64)
+
+        totals = np.bincount(train.user_indices, minlength=train.n_users).astype(np.float64)
+        tail_counts = np.bincount(
+            train.user_indices, weights=is_tail, minlength=train.n_users
+        )
+        theta = np.zeros(train.n_users, dtype=np.float64)
+        rated = totals > 0
+        theta[rated] = tail_counts[rated] / totals[rated]
+        return PreferenceResult(theta=theta, model_name=self.name)
+
+
+class TfidfPreference(PreferenceModel):
+    """``θT``: TFIDF-style combination of user interest and item rarity (Eq. II.2)."""
+
+    name = "tfidf"
+
+    def estimate(
+        self,
+        train: RatingDataset,
+        *,
+        popularity: PopularityStats | None = None,
+    ) -> PreferenceResult:
+        """Average the normalized per-user-item values ``θ_ui`` per user."""
+        del popularity  # popularity is implicit in θ_ui
+        theta_ui = per_user_item_preference(train, normalize=True)
+        totals = np.bincount(train.user_indices, minlength=train.n_users).astype(np.float64)
+        sums = np.bincount(train.user_indices, weights=theta_ui, minlength=train.n_users)
+        theta = np.zeros(train.n_users, dtype=np.float64)
+        rated = totals > 0
+        theta[rated] = sums[rated] / totals[rated]
+        return PreferenceResult(theta=theta, model_name=self.name)
+
+
+class RandomPreference(PreferenceModel):
+    """``θR``: uniform random preferences, the stochastic control of Figure 5."""
+
+    name = "random"
+
+    def __init__(self, *, seed: SeedLike = None) -> None:
+        self._seed = seed
+
+    def estimate(
+        self,
+        train: RatingDataset,
+        *,
+        popularity: PopularityStats | None = None,
+    ) -> PreferenceResult:
+        """Draw θ_u ~ Uniform(0, 1) independently per user."""
+        del popularity
+        rng = ensure_rng(self._seed)
+        return PreferenceResult(theta=rng.random(train.n_users), model_name=self.name)
+
+
+class ConstantPreference(PreferenceModel):
+    """``θC``: the same constant preference for every user (0.5 in the paper)."""
+
+    name = "constant"
+
+    def __init__(self, value: float = 0.5) -> None:
+        if not 0.0 <= value <= 1.0:
+            raise ConfigurationError(f"constant preference must be in [0, 1], got {value}")
+        self.value = float(value)
+
+    def estimate(
+        self,
+        train: RatingDataset,
+        *,
+        popularity: PopularityStats | None = None,
+    ) -> PreferenceResult:
+        """Return a constant vector."""
+        del popularity
+        theta = np.full(train.n_users, self.value, dtype=np.float64)
+        return PreferenceResult(theta=theta, model_name=self.name)

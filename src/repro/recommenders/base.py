@@ -1,0 +1,165 @@
+"""Common interface of all accuracy recommenders.
+
+Every model exposes two views of its predictions:
+
+* ``predict_scores(user, items)`` — raw model scores (predicted ratings,
+  popularity counts, associations, ...), used for ranking;
+* ``unit_scores(user, n)`` — scores over *all* items mapped onto ``[0, 1]``
+  (per-user min-max normalization by default), used as the accuracy term
+  ``a(i)`` of the GANC value function (Eq. III.1).  The non-personalized
+  ``Pop`` recommender overrides this with binary top-N membership, exactly as
+  the paper specifies.
+
+``recommend`` and ``recommend_all`` always exclude the user's train items so
+that top-N sets follow the "all unrated items" protocol.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import RatingDataset
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.utils.normalization import min_max_normalize
+
+
+@dataclass(frozen=True)
+class FittedTopN:
+    """Top-N sets for every user, as produced by :meth:`Recommender.recommend_all`.
+
+    Attributes
+    ----------
+    items:
+        Integer array of shape ``(n_users, n)``; row ``u`` holds the top-N
+        item indices of user ``u`` in rank order.  Rows may contain ``-1``
+        padding when a user has fewer than ``n`` candidates.
+    """
+
+    items: np.ndarray
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.items, dtype=np.int64)
+        if arr.ndim != 2:
+            raise ConfigurationError(f"top-N items must be 2-D, got shape {arr.shape}")
+        object.__setattr__(self, "items", arr)
+
+    @property
+    def n_users(self) -> int:
+        """Number of users covered by this collection."""
+        return int(self.items.shape[0])
+
+    @property
+    def n(self) -> int:
+        """Size of each top-N set."""
+        return int(self.items.shape[1])
+
+    def for_user(self, user: int) -> np.ndarray:
+        """Valid (non-padding) recommendations of ``user`` in rank order."""
+        row = self.items[user]
+        return row[row >= 0]
+
+    def as_dict(self) -> dict[int, np.ndarray]:
+        """Return a ``{user: item array}`` mapping (drops padding)."""
+        return {u: self.for_user(u) for u in range(self.n_users)}
+
+
+class Recommender(ABC):
+    """Abstract base class of all accuracy recommenders."""
+
+    def __init__(self) -> None:
+        self._train: RatingDataset | None = None
+
+    # ------------------------------------------------------------------ #
+    # Fitting
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def fit(self, train: RatingDataset) -> "Recommender":
+        """Fit the model on the train interactions and return ``self``."""
+
+    def _mark_fitted(self, train: RatingDataset) -> None:
+        self._train = train
+
+    @property
+    def train_data(self) -> RatingDataset:
+        """The train dataset this model was fitted on."""
+        self._check_fitted()
+        assert self._train is not None
+        return self._train
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._train is not None
+
+    def _check_fitted(self) -> None:
+        if self._train is None:
+            raise NotFittedError(
+                f"{type(self).__name__} must be fitted before it can be used"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Scoring
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def predict_scores(self, user: int, items: np.ndarray) -> np.ndarray:
+        """Raw model scores of ``items`` for ``user`` (higher is better)."""
+
+    def score_all_items(self, user: int) -> np.ndarray:
+        """Raw scores of every item in the universe for ``user``."""
+        self._check_fitted()
+        all_items = np.arange(self.train_data.n_items, dtype=np.int64)
+        return self.predict_scores(user, all_items)
+
+    def unit_scores(self, user: int, n: int) -> np.ndarray:
+        """Accuracy scores ``a(i)`` in ``[0, 1]`` over all items for ``user``.
+
+        The default maps the raw score vector through per-user min-max
+        normalization.  ``n`` is unused by score-based models but lets
+        membership-based models (Pop) know the top-N size.
+        """
+        del n  # only membership-based recommenders need the top-N size
+        return min_max_normalize(self.score_all_items(user))
+
+    # ------------------------------------------------------------------ #
+    # Recommendation
+    # ------------------------------------------------------------------ #
+    def recommend(
+        self,
+        user: int,
+        n: int,
+        *,
+        exclude_items: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Top-``n`` unseen items for ``user`` in decreasing score order.
+
+        ``exclude_items`` defaults to the user's train items.
+        """
+        self._check_fitted()
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {n}")
+        scores = self.score_all_items(user).astype(np.float64, copy=True)
+        if exclude_items is None:
+            exclude_items = self.train_data.user_items(user)
+        if exclude_items.size:
+            scores[np.asarray(exclude_items, dtype=np.int64)] = -np.inf
+
+        candidates = np.flatnonzero(np.isfinite(scores))
+        if candidates.size == 0:
+            return np.empty(0, dtype=np.int64)
+        k = min(n, candidates.size)
+        # Partial selection then exact ordering of the selected head.
+        top = candidates[np.argpartition(-scores[candidates], k - 1)[:k]]
+        return top[np.argsort(-scores[top], kind="stable")]
+
+    def recommend_all(self, n: int) -> FittedTopN:
+        """Top-``n`` sets for every user (train items excluded)."""
+        self._check_fitted()
+        n_users = self.train_data.n_users
+        out = np.full((n_users, n), -1, dtype=np.int64)
+        for user in range(n_users):
+            items = self.recommend(user, n)
+            out[user, : items.size] = items
+        return FittedTopN(items=out)

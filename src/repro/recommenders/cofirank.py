@@ -1,0 +1,116 @@
+"""Collaborative ranking with regression loss (the paper's ``CofiR`` variant).
+
+CoFiRank (Weimer et al., 2007) is a maximum-margin matrix factorization model
+for collaborative *ranking*.  The paper reports only the regression
+(squared-loss) variant, ``CofiR100``, which it found to consistently beat the
+NDCG-loss variant.  With a squared loss the model reduces to alternating
+regularized least squares in a shared latent space, which is what this class
+implements:
+
+* item factors and user factors are optimized in turns, each step solving a
+  ridge-regression problem restricted to the observed ratings of the
+  user/item;
+* ratings are centered by the global mean, mirroring the original model's
+  offset handling.
+
+The alternating least squares solver is exact per sub-problem and converges
+monotonically, giving a deterministic, scalable stand-in for the original C++
+implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import RatingDataset
+from repro.exceptions import ConfigurationError
+from repro.recommenders.base import Recommender
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+class CofiRank(Recommender):
+    """Collaborative ranking via alternating ridge regression (CofiR).
+
+    Parameters
+    ----------
+    n_factors:
+        Latent dimensionality (100 in the paper's ``CofiR100``).
+    reg:
+        Ridge regularization coefficient λ (10 in the paper's setup).
+    n_iterations:
+        Number of alternating optimization sweeps.
+    seed:
+        RNG seed for factor initialization.
+    """
+
+    def __init__(
+        self,
+        n_factors: int = 100,
+        *,
+        reg: float = 10.0,
+        n_iterations: int = 10,
+        seed: SeedLike = 0,
+    ) -> None:
+        super().__init__()
+        if n_factors < 1:
+            raise ConfigurationError(f"n_factors must be >= 1, got {n_factors}")
+        if reg < 0:
+            raise ConfigurationError(f"reg must be non-negative, got {reg}")
+        if n_iterations < 1:
+            raise ConfigurationError(f"n_iterations must be >= 1, got {n_iterations}")
+        self.n_factors = int(n_factors)
+        self.reg = float(reg)
+        self.n_iterations = int(n_iterations)
+        self._seed = seed
+
+        self.global_mean_: float = 0.0
+        self.user_factors_: np.ndarray | None = None
+        self.item_factors_: np.ndarray | None = None
+
+    def fit(self, train: RatingDataset) -> "CofiRank":
+        """Alternate exact ridge solves for user and item factors."""
+        rng = ensure_rng(self._seed)
+        n_users, n_items = train.n_users, train.n_items
+        k = min(self.n_factors, max(min(n_users, n_items) - 1, 1))
+
+        self.global_mean_ = train.mean_rating()
+        user_factors = rng.normal(0.0, 0.1, size=(n_users, k))
+        item_factors = rng.normal(0.0, 0.1, size=(n_items, k))
+
+        csr = train.to_csr()
+        csc = train.to_csc()
+        eye = np.eye(k)
+
+        for _ in range(self.n_iterations):
+            # Solve each user's ridge regression against fixed item factors.
+            for user in range(n_users):
+                start, stop = csr.indptr[user], csr.indptr[user + 1]
+                if start == stop:
+                    continue
+                items = csr.indices[start:stop]
+                targets = csr.data[start:stop] - self.global_mean_
+                q = item_factors[items]
+                gram = q.T @ q + self.reg * eye
+                user_factors[user] = np.linalg.solve(gram, q.T @ targets)
+            # Solve each item's ridge regression against fixed user factors.
+            for item in range(n_items):
+                start, stop = csc.indptr[item], csc.indptr[item + 1]
+                if start == stop:
+                    continue
+                users = csc.indices[start:stop]
+                targets = csc.data[start:stop] - self.global_mean_
+                p = user_factors[users]
+                gram = p.T @ p + self.reg * eye
+                item_factors[item] = np.linalg.solve(gram, p.T @ targets)
+
+        self.user_factors_ = user_factors
+        self.item_factors_ = item_factors
+        self._mark_fitted(train)
+        return self
+
+    def predict_scores(self, user: int, items: np.ndarray) -> np.ndarray:
+        """Predicted (mean-centered + offset) ratings for ``items``."""
+        self._check_fitted()
+        assert self.user_factors_ is not None and self.item_factors_ is not None
+        items = np.asarray(items, dtype=np.int64)
+        return self.global_mean_ + self.item_factors_[items] @ self.user_factors_[user]

@@ -1,0 +1,64 @@
+"""The ``Pop`` (most popular) accuracy recommender.
+
+Non-personalized: every user is suggested the most popular items they have not
+rated yet.  For ranking tasks this model is a strong accuracy contender because
+it exploits the popularity bias of the data, but it has low novelty and
+coverage (Cremonesi et al., 2010; Vargas & Castells, 2014).
+
+When used as the accuracy component of GANC, the paper defines the accuracy
+score as binary membership: ``a(i) = 1`` if item ``i`` is inside the top-N set
+Pop would suggest to the user, ``a(i) = 0`` otherwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import RatingDataset
+from repro.recommenders.base import Recommender
+
+
+class MostPopular(Recommender):
+    """Rank items by their train-set popularity ``f^R_i``.
+
+    Ties are broken deterministically by item index so repeated runs produce
+    identical recommendation sets.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._popularity: np.ndarray | None = None
+        self._scores: np.ndarray | None = None
+
+    def fit(self, train: RatingDataset) -> "MostPopular":
+        """Count item frequencies in ``train``."""
+        self._popularity = train.item_popularity().astype(np.float64)
+        # Deterministic tie-break: subtract a tiny index-based epsilon so equal
+        # popularity resolves to the lower item index first.
+        n_items = train.n_items
+        jitter = np.arange(n_items, dtype=np.float64) / (10.0 * max(n_items, 1))
+        self._scores = self._popularity - jitter
+        self._mark_fitted(train)
+        return self
+
+    @property
+    def popularity(self) -> np.ndarray:
+        """Item popularity counts learned at fit time."""
+        self._check_fitted()
+        assert self._popularity is not None
+        return self._popularity
+
+    def predict_scores(self, user: int, items: np.ndarray) -> np.ndarray:
+        """Popularity scores (identical for every user)."""
+        self._check_fitted()
+        del user  # non-personalized
+        assert self._scores is not None
+        return self._scores[np.asarray(items, dtype=np.int64)]
+
+    def unit_scores(self, user: int, n: int) -> np.ndarray:
+        """Binary top-N membership, as the paper defines ``a(i)`` for Pop."""
+        self._check_fitted()
+        top = self.recommend(user, n)
+        scores = np.zeros(self.train_data.n_items, dtype=np.float64)
+        scores[top] = 1.0
+        return scores

@@ -1,0 +1,45 @@
+"""The ``Rand`` recommender: uniformly random suggestions.
+
+Rand achieves the best possible coverage and high novelty but essentially zero
+accuracy; the paper uses it as the coverage-extreme reference point in the
+trade-off plots (Figure 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import RatingDataset
+from repro.recommenders.base import Recommender
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+class RandomRecommender(Recommender):
+    """Assign every (user, item) pair an i.i.d. uniform score.
+
+    Scores are drawn lazily per user from a deterministic per-user stream, so
+    the same seed always reproduces the same recommendation sets regardless of
+    the order users are queried in.
+    """
+
+    def __init__(self, *, seed: SeedLike = None) -> None:
+        super().__init__()
+        self._seed = seed
+        self._base_seed: int | None = None
+
+    def fit(self, train: RatingDataset) -> "RandomRecommender":
+        """Record the item universe; no learning is involved."""
+        rng = ensure_rng(self._seed)
+        self._base_seed = int(rng.integers(0, 2**31 - 1))
+        self._mark_fitted(train)
+        return self
+
+    def _user_scores(self, user: int) -> np.ndarray:
+        assert self._base_seed is not None
+        user_rng = np.random.default_rng(self._base_seed + int(user))
+        return user_rng.random(self.train_data.n_items)
+
+    def predict_scores(self, user: int, items: np.ndarray) -> np.ndarray:
+        """Uniform random scores for ``items`` (deterministic per user+seed)."""
+        self._check_fitted()
+        return self._user_scores(user)[np.asarray(items, dtype=np.int64)]

@@ -1,0 +1,65 @@
+"""Name-based construction of accuracy recommenders.
+
+The experiment harness refers to recommenders with the short names the paper
+uses (``Pop``, ``Rand``, ``RSVD``, ``PSVD10``, ``PSVD100``, ``CofiR100``).
+:func:`make_recommender` turns those names into configured model instances so
+an experiment definition is a plain list of strings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.exceptions import ConfigurationError
+from repro.recommenders.base import Recommender
+from repro.recommenders.cofirank import CofiRank
+from repro.recommenders.knn import ItemKNN
+from repro.recommenders.popularity import MostPopular
+from repro.recommenders.puresvd import PureSVD
+from repro.recommenders.random import RandomRecommender
+from repro.recommenders.rsvd import RSVD
+from repro.recommenders.user_knn import UserKNN
+
+RecommenderFactory = Callable[..., Recommender]
+
+
+RECOMMENDER_REGISTRY: Mapping[str, RecommenderFactory] = {
+    "pop": lambda **kw: MostPopular(),
+    "rand": lambda **kw: RandomRecommender(seed=kw.get("seed", 0)),
+    "rsvd": lambda **kw: RSVD(
+        n_factors=kw.get("n_factors", 20),
+        n_epochs=kw.get("n_epochs", 20),
+        learning_rate=kw.get("learning_rate", 0.01),
+        reg=kw.get("reg", 0.05),
+        seed=kw.get("seed", 0),
+    ),
+    "rsvdn": lambda **kw: RSVD(
+        n_factors=kw.get("n_factors", 20),
+        n_epochs=kw.get("n_epochs", 20),
+        learning_rate=kw.get("learning_rate", 0.01),
+        reg=kw.get("reg", 0.05),
+        non_negative=True,
+        seed=kw.get("seed", 0),
+    ),
+    "psvd10": lambda **kw: PureSVD(n_factors=10),
+    "psvd100": lambda **kw: PureSVD(n_factors=100),
+    "psvd": lambda **kw: PureSVD(n_factors=kw.get("n_factors", 100)),
+    "cofir100": lambda **kw: CofiRank(
+        n_factors=kw.get("n_factors", 100),
+        reg=kw.get("reg", 10.0),
+        n_iterations=kw.get("n_iterations", 5),
+        seed=kw.get("seed", 0),
+    ),
+    "itemknn": lambda **kw: ItemKNN(k=kw.get("k", 50)),
+    "userknn": lambda **kw: UserKNN(k=kw.get("k", 40)),
+}
+
+
+def make_recommender(name: str, **kwargs: object) -> Recommender:
+    """Instantiate a recommender from its (case-insensitive) registry name."""
+    key = name.strip().lower()
+    if key not in RECOMMENDER_REGISTRY:
+        raise ConfigurationError(
+            f"unknown recommender {name!r}; available: {sorted(RECOMMENDER_REGISTRY)}"
+        )
+    return RECOMMENDER_REGISTRY[key](**kwargs)

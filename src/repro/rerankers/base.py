@@ -1,0 +1,92 @@
+"""Common interface of re-ranking baselines.
+
+A re-ranker post-processes a fitted accuracy recommender: it never learns new
+rating predictions, it only reorders (or substitutes) candidates to improve
+beyond-accuracy objectives.  The interface mirrors the recommenders' API so
+both kinds of models can be evaluated by the same harness.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.data.dataset import RatingDataset
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.recommenders.base import FittedTopN, Recommender
+
+
+class Reranker(ABC):
+    """Base class of all re-ranking baselines.
+
+    Parameters
+    ----------
+    base:
+        The accuracy recommender whose predictions are re-ranked.
+    """
+
+    def __init__(self, base: Recommender) -> None:
+        self.base = base
+        self._train: RatingDataset | None = None
+
+    def fit(self, train: RatingDataset) -> "Reranker":
+        """Fit the base recommender (if necessary) and any re-ranker state."""
+        if not self.base.is_fitted or self.base.train_data is not train:
+            self.base.fit(train)
+        self._train = train
+        self._fit_extra(train)
+        return self
+
+    def _fit_extra(self, train: RatingDataset) -> None:
+        """Hook for subclasses that precompute statistics at fit time."""
+        del train
+
+    @property
+    def train_data(self) -> RatingDataset:
+        """Train dataset the re-ranker was fitted on."""
+        self._check_fitted()
+        assert self._train is not None
+        return self._train
+
+    def _check_fitted(self) -> None:
+        if self._train is None:
+            raise NotFittedError(
+                f"{type(self).__name__} must be fitted before it can recommend"
+            )
+
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def rerank_user(self, user: int, n: int) -> np.ndarray:
+        """Return the re-ranked top-``n`` items of one user."""
+
+    def recommend_all(self, n: int) -> FittedTopN:
+        """Re-rank every user and return the collection."""
+        self._check_fitted()
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {n}")
+        n_users = self.train_data.n_users
+        out = np.full((n_users, n), -1, dtype=np.int64)
+        for user in range(n_users):
+            items = self.rerank_user(user, n)
+            out[user, : min(items.size, n)] = items[:n]
+        return FittedTopN(items=out)
+
+    # ------------------------------------------------------------------ #
+    def _candidate_scores(self, user: int) -> np.ndarray:
+        """Base scores with the user's train items masked out."""
+        scores = self.base.score_all_items(user).astype(np.float64, copy=True)
+        seen = self.train_data.user_items(user)
+        if seen.size:
+            scores[seen] = -np.inf
+        return scores
+
+    @staticmethod
+    def _top_k(scores: np.ndarray, k: int) -> np.ndarray:
+        """Indices of the ``k`` largest finite scores, best first."""
+        candidates = np.flatnonzero(np.isfinite(scores))
+        if candidates.size == 0:
+            return np.empty(0, dtype=np.int64)
+        k = min(k, candidates.size)
+        top = candidates[np.argpartition(-scores[candidates], k - 1)[:k]]
+        return top[np.argsort(-scores[top], kind="stable")]

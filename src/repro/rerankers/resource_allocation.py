@@ -1,0 +1,201 @@
+"""Resource-allocation ("5D") re-ranking for mining worth-recommending long-tail items.
+
+Re-implementation of the approach of Ho, Chiang & Hsu (WSDM 2014) in the
+configuration the paper compares against (Section IV-A).  The original method
+works in two phases and scores every user-item pair along five dimensions;
+since the exact formulas are not restated in the GANC paper, this
+implementation follows the published description of the two phases and of the
+five dimensions, and reproduces the behaviour the comparison reports: plain
+``5D`` is an aggressive long-tail promoter (highest LTAccuracy, near-zero
+F-measure), while the ``A`` (accuracy-filtering) and ``RR`` (rank-by-rankings)
+variants restore part of the accuracy at the cost of novelty.
+
+Phase 1 — resource allocation to items: every item receives resources
+proportional to the ratings it collected in train, so well-liked items carry
+more resources to redistribute.
+
+Phase 2 — distribution to user-item pairs: each item spreads its resources
+over the users most likely to appreciate it (relative preference from the base
+model's predicted scores), restricted to the ``k`` strongest pairs overall
+(``k = 3·|I|`` in the paper's configuration, exponent ``q = 1``).
+
+Scoring — each candidate user-item pair gets five dimension scores in [0, 1]:
+accuracy (base model score), balance (how close the item's popularity is to
+the user's typical item popularity), coverage (inverse recommendation
+popularity), quality (item average rating), and long-tail quantity (whether
+the item is a long-tail item).  The plain variant averages the five
+dimensions; the RR variant aggregates per-dimension *ranks* instead
+("rank by rankings"); the A variant additionally filters candidates whose
+accuracy dimension is below the user's median candidate score.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import RatingDataset
+from repro.data.popularity import PopularityStats
+from repro.exceptions import ConfigurationError
+from repro.recommenders.base import Recommender
+from repro.rerankers.base import Reranker
+from repro.utils.normalization import min_max_normalize
+
+
+class ResourceAllocation5D(Reranker):
+    """5D resource-allocation re-ranker with optional A / RR variants.
+
+    Parameters
+    ----------
+    base:
+        Rating-prediction recommender whose scores provide the accuracy
+        dimension and the relative preferences of phase 2.
+    accuracy_filtering:
+        Enable the ``A`` variant: drop candidates scoring below the user's
+        median predicted score before the 5D ranking.
+    rank_by_rankings:
+        Enable the ``RR`` variant: aggregate per-dimension ranks instead of
+        averaging the raw dimension scores.
+    resource_multiplier:
+        The paper's ``k`` expressed as a multiple of ``|I|`` (3 by default):
+        how many user-item pairs receive resources in phase 2.
+    preference_exponent:
+        The paper's ``q`` (1 by default): exponent applied to relative
+        preferences when distributing resources.
+    """
+
+    def __init__(
+        self,
+        base: Recommender,
+        *,
+        accuracy_filtering: bool = False,
+        rank_by_rankings: bool = False,
+        resource_multiplier: float = 3.0,
+        preference_exponent: float = 1.0,
+    ) -> None:
+        super().__init__(base)
+        if resource_multiplier <= 0:
+            raise ConfigurationError(
+                f"resource_multiplier must be positive, got {resource_multiplier}"
+            )
+        if preference_exponent <= 0:
+            raise ConfigurationError(
+                f"preference_exponent must be positive, got {preference_exponent}"
+            )
+        self.accuracy_filtering = bool(accuracy_filtering)
+        self.rank_by_rankings = bool(rank_by_rankings)
+        self.resource_multiplier = float(resource_multiplier)
+        self.preference_exponent = float(preference_exponent)
+
+        self._stats: PopularityStats | None = None
+        self._item_resources: np.ndarray | None = None
+        self._avg_rating: np.ndarray | None = None
+        self._user_mean_popularity: np.ndarray | None = None
+
+    @property
+    def name(self) -> str:
+        """Template string, e.g. ``5D(RSVD, A, RR)``."""
+        flags = []
+        if self.accuracy_filtering:
+            flags.append("A")
+        if self.rank_by_rankings:
+            flags.append("RR")
+        suffix = (", " + ", ".join(flags)) if flags else ""
+        return f"5D({type(self.base).__name__}{suffix})"
+
+    # ------------------------------------------------------------------ #
+    def _fit_extra(self, train: RatingDataset) -> None:
+        self._stats = PopularityStats.from_dataset(train)
+        popularity = self._stats.popularity.astype(np.float64)
+
+        # Phase 1: allocate resources to items according to received ratings.
+        rating_mass = np.bincount(
+            train.item_indices, weights=train.ratings, minlength=train.n_items
+        )
+        self._item_resources = min_max_normalize(rating_mass)
+
+        sums = rating_mass
+        averages = np.zeros(train.n_items, dtype=np.float64)
+        rated = popularity > 0
+        averages[rated] = sums[rated] / popularity[rated]
+        self._avg_rating = averages
+
+        # Per-user mean popularity of rated items (for the balance dimension).
+        user_totals = np.bincount(train.user_indices, minlength=train.n_users).astype(float)
+        user_pop_sums = np.bincount(
+            train.user_indices,
+            weights=popularity[train.item_indices],
+            minlength=train.n_users,
+        )
+        means = np.zeros(train.n_users, dtype=np.float64)
+        has = user_totals > 0
+        means[has] = user_pop_sums[has] / user_totals[has]
+        self._user_mean_popularity = means
+
+    # ------------------------------------------------------------------ #
+    def _dimension_scores(self, user: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return (candidate item indices, 5 x n_candidates dimension matrix)."""
+        assert self._stats is not None
+        assert self._item_resources is not None
+        assert self._avg_rating is not None
+        assert self._user_mean_popularity is not None
+
+        raw_scores = self._candidate_scores(user)
+        candidates = np.flatnonzero(np.isfinite(raw_scores))
+        if candidates.size == 0:
+            return candidates, np.zeros((5, 0))
+        scores = raw_scores[candidates]
+
+        popularity = self._stats.popularity[candidates].astype(np.float64)
+        max_pop = max(float(self._stats.popularity.max()), 1.0)
+
+        # Phase 2: relative preference of the user for each candidate, used to
+        # weight the item resources it may receive.
+        preference = min_max_normalize(scores) ** self.preference_exponent
+        budget = int(min(self.resource_multiplier * self._stats.n_items, candidates.size))
+        receives_resources = np.zeros(candidates.size, dtype=bool)
+        if budget > 0:
+            strongest = np.argsort(-(preference * (1.0 + self._item_resources[candidates])))[:budget]
+            receives_resources[strongest] = True
+
+        accuracy_dim = min_max_normalize(scores)
+        balance_dim = 1.0 - np.abs(popularity - self._user_mean_popularity[user]) / max_pop
+        coverage_dim = 1.0 / np.sqrt(popularity + 1.0)
+        quality_dim = min_max_normalize(self._avg_rating[candidates])
+        long_tail_dim = self._stats.long_tail_mask[candidates].astype(np.float64)
+
+        dims = np.vstack([accuracy_dim, balance_dim, coverage_dim, quality_dim, long_tail_dim])
+        # Candidates outside the resource budget cannot be promoted beyond
+        # their accuracy dimension (their beyond-accuracy dimensions are zeroed).
+        dims[1:, ~receives_resources] = 0.0
+        return candidates, dims
+
+    def rerank_user(self, user: int, n: int) -> np.ndarray:
+        """Rank the user's candidates by the aggregated 5D score."""
+        self._check_fitted()
+        candidates, dims = self._dimension_scores(user)
+        if candidates.size == 0:
+            return candidates
+        accuracy_dim = dims[0]
+
+        if self.accuracy_filtering:
+            threshold = float(np.median(accuracy_dim))
+            keep = accuracy_dim >= threshold
+            if keep.sum() >= n:
+                candidates = candidates[keep]
+                dims = dims[:, keep]
+
+        if self.rank_by_rankings:
+            # Rank-by-rankings: an item's aggregate score is the mean of its
+            # (descending) ranks across the five dimensions; lower is better.
+            ranks = np.zeros_like(dims)
+            for d in range(dims.shape[0]):
+                order = np.argsort(-dims[d], kind="stable")
+                ranks[d, order] = np.arange(order.size)
+            aggregate = -ranks.mean(axis=0)
+        else:
+            aggregate = dims.mean(axis=0)
+
+        k = min(n, candidates.size)
+        top = np.argpartition(-aggregate, k - 1)[:k]
+        ordered = top[np.argsort(-aggregate[top], kind="stable")]
+        return candidates[ordered].astype(np.int64)

@@ -1,0 +1,34 @@
+"""Small shared utilities: RNG handling, normalization, validation, tables."""
+
+from repro.utils.normalization import (
+    min_max_normalize,
+    normalize_rows,
+    clip_unit_interval,
+)
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.validation import (
+    check_positive_int,
+    check_unit_interval,
+    check_probability,
+    check_in_choices,
+)
+from repro.utils.tables import format_table, format_float
+from repro.utils.plotting import Series, ascii_plot, ascii_histogram, ascii_bars
+
+__all__ = [
+    "min_max_normalize",
+    "normalize_rows",
+    "clip_unit_interval",
+    "ensure_rng",
+    "spawn_rng",
+    "check_positive_int",
+    "check_unit_interval",
+    "check_probability",
+    "check_in_choices",
+    "format_table",
+    "format_float",
+    "Series",
+    "ascii_plot",
+    "ascii_histogram",
+    "ascii_bars",
+]

@@ -1,0 +1,53 @@
+"""Vector and matrix normalization helpers used across the library.
+
+The paper normalizes generic vectors with ``x_i = (x_i - min(x)) / (max(x) -
+min(x))`` (Section II-A) and requires accuracy / coverage scores as well as
+preference estimates to live on the ``[0, 1]`` interval so that the value
+function in Eq. III.1 combines commensurable quantities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def min_max_normalize(values: np.ndarray, *, copy: bool = True) -> np.ndarray:
+    """Min-max normalize ``values`` to the unit interval.
+
+    A constant vector (max == min) normalizes to all zeros, which matches the
+    convention used in the paper's preprocessing: a user whose per-item
+    preference values are all identical carries no ordering information.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if copy:
+        arr = arr.copy()
+    if arr.size == 0:
+        return arr
+    lo = float(np.min(arr))
+    hi = float(np.max(arr))
+    span = hi - lo
+    if span <= 0.0:
+        return np.zeros_like(arr)
+    return (arr - lo) / span
+
+
+def normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    """Min-max normalize each row of a dense 2-D array independently.
+
+    Used to map predicted rating rows of RSVD / PureSVD into ``[0, 1]`` before
+    they are consumed as accuracy scores ``a(i)``.
+    """
+    mat = np.asarray(matrix, dtype=np.float64)
+    if mat.ndim != 2:
+        raise ValueError(f"expected a 2-D array, got shape {mat.shape}")
+    lo = mat.min(axis=1, keepdims=True)
+    hi = mat.max(axis=1, keepdims=True)
+    span = hi - lo
+    span[span <= 0.0] = 1.0
+    out = (mat - lo) / span
+    return out
+
+
+def clip_unit_interval(values: np.ndarray) -> np.ndarray:
+    """Clip ``values`` into ``[0, 1]`` without modifying the input."""
+    return np.clip(np.asarray(values, dtype=np.float64), 0.0, 1.0)

@@ -1,0 +1,143 @@
+"""Dependency-free ASCII plotting for experiment figures.
+
+The paper's figures are line plots, scatter plots and histograms.  The
+experiment harness renders them as plain-text charts so the shapes can be
+inspected in a terminal or a log file without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Series:
+    """A named series of points for ASCII plotting."""
+
+    label: str
+    x: Sequence[float]
+    y: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ConfigurationError(
+                f"series {self.label!r} has {len(self.x)} x values but {len(self.y)} y values"
+            )
+
+
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(values: np.ndarray, lo: float, hi: float, size: int) -> np.ndarray:
+    span = hi - lo
+    if span <= 0:
+        return np.zeros(values.size, dtype=np.int64)
+    positions = (values - lo) / span * (size - 1)
+    return np.clip(np.round(positions).astype(np.int64), 0, size - 1)
+
+
+def ascii_plot(
+    series: Sequence[Series],
+    *,
+    width: int = 60,
+    height: int = 18,
+    title: str | None = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one or more series as an ASCII scatter/line chart.
+
+    Each series gets its own marker character; the legend maps markers back to
+    series labels.  Points that collide on the character grid keep the marker
+    of the last series drawn.
+    """
+    if not series:
+        raise ConfigurationError("ascii_plot needs at least one series")
+    if width < 10 or height < 5:
+        raise ConfigurationError("plot area must be at least 10x5 characters")
+
+    all_x = np.concatenate([np.asarray(s.x, dtype=np.float64) for s in series])
+    all_y = np.concatenate([np.asarray(s.y, dtype=np.float64) for s in series])
+    if all_x.size == 0:
+        raise ConfigurationError("cannot plot empty series")
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, current in enumerate(series):
+        marker = _MARKERS[index % len(_MARKERS)]
+        xs = _scale(np.asarray(current.x, dtype=np.float64), x_lo, x_hi, width)
+        ys = _scale(np.asarray(current.y, dtype=np.float64), y_lo, y_hi, height)
+        for col, row in zip(xs, ys):
+            grid[height - 1 - row][col] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} (top={y_hi:.4g}, bottom={y_lo:.4g})")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"{x_label}: {x_lo:.4g} .. {x_hi:.4g}")
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={s.label}" for i, s in enumerate(series)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def ascii_histogram(
+    values: Sequence[float],
+    *,
+    bins: int = 10,
+    width: int = 40,
+    title: str | None = None,
+    value_range: tuple[float, float] | None = None,
+) -> str:
+    """Render a horizontal-bar histogram of ``values``."""
+    data = np.asarray(list(values), dtype=np.float64)
+    if data.size == 0:
+        raise ConfigurationError("cannot build a histogram from no values")
+    if bins < 1:
+        raise ConfigurationError(f"bins must be >= 1, got {bins}")
+    counts, edges = np.histogram(data, bins=bins, range=value_range)
+    peak = max(int(counts.max()), 1)
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"[{lo:6.3f}, {hi:6.3f}) {bar} {count}")
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 40,
+    title: str | None = None,
+) -> str:
+    """Render labelled horizontal bars (used for per-algorithm metric summaries)."""
+    if len(labels) != len(values):
+        raise ConfigurationError(
+            f"labels and values must align, got {len(labels)} vs {len(values)}"
+        )
+    if not labels:
+        raise ConfigurationError("ascii_bars needs at least one bar")
+    data = np.asarray(list(values), dtype=np.float64)
+    peak = float(np.max(np.abs(data))) or 1.0
+    label_width = max(len(str(label)) for label in labels)
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, data):
+        bar = "#" * int(round(width * abs(value) / peak))
+        lines.append(f"{str(label).ljust(label_width)} | {bar} {value:.4f}")
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Plain-text table rendering for experiment reports.
+
+The experiment harness prints the same rows the paper's tables report.  We keep
+formatting dependency-free: a simple fixed-width ASCII layout that is easy to
+diff across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_float(value: float, digits: int = 4) -> str:
+    """Format a float with a fixed number of decimal digits."""
+    return f"{value:.{digits}f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_digits: int = 4,
+) -> str:
+    """Render ``rows`` under ``headers`` as a fixed-width ASCII table.
+
+    Floats are formatted with ``float_digits`` decimals; everything else goes
+    through ``str``.
+    """
+    rendered_rows: list[list[str]] = []
+    for row in rows:
+        rendered: list[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(format_float(cell, float_digits))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+
+    columns = len(headers)
+    widths = [len(str(h)) for h in headers]
+    for row in rendered_rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells but table has {columns} columns: {row}"
+            )
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+
+    def _line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[idx]) for idx, cell in enumerate(cells))
+
+    parts: list[str] = []
+    if title:
+        parts.append(title)
+    parts.append(_line([str(h) for h in headers]))
+    parts.append("-+-".join("-" * w for w in widths))
+    parts.extend(_line(row) for row in rendered_rows)
+    return "\n".join(parts)

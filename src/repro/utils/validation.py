@@ -1,0 +1,43 @@
+"""Argument-validation helpers with informative error messages."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.exceptions import ConfigurationError
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        raise ConfigurationError(f"{name} must be a positive integer, got {value!r}")
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_unit_interval(value: Any, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    try:
+        val = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(f"{name} must be a float in [0, 1], got {value!r}") from exc
+    if not 0.0 <= val <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {val}")
+    return val
+
+
+def check_probability(value: Any, name: str) -> float:
+    """Validate a probability that must be strictly inside (0, 1)."""
+    val = check_unit_interval(value, name)
+    if val in (0.0, 1.0):
+        raise ConfigurationError(f"{name} must be strictly between 0 and 1, got {val}")
+    return val
+
+
+def check_in_choices(value: Any, name: str, choices: Iterable[Any]) -> Any:
+    """Validate that ``value`` is one of ``choices`` and return it."""
+    allowed = list(choices)
+    if value not in allowed:
+        raise ConfigurationError(f"{name} must be one of {allowed}, got {value!r}")
+    return value

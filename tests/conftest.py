@@ -1,0 +1,82 @@
+"""Shared fixtures for the test suite.
+
+Fixtures are kept intentionally small so the whole suite runs in well under a
+minute; session scope is used for anything that involves generation or model
+fitting that several test modules share.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import RatingDataset
+from repro.data.split import RatioSplitter, TrainTestSplit
+from repro.data.synthetic import SyntheticConfig, SyntheticDatasetFactory
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> RatingDataset:
+    """A hand-built 4-user / 6-item dataset with known structure.
+
+    Item 0 is rated by everyone (the blockbuster), items 4 and 5 are rated by
+    a single user each (the long tail).  User 3 is the long-tail explorer.
+    """
+    triples = [
+        # user, item, rating
+        (0, 0, 5.0), (0, 1, 4.0), (0, 2, 3.0),
+        (1, 0, 4.0), (1, 1, 5.0), (1, 3, 2.0),
+        (2, 0, 3.0), (2, 2, 4.0), (2, 3, 5.0),
+        (3, 0, 2.0), (3, 4, 5.0), (3, 5, 4.0),
+    ]
+    return RatingDataset.from_interactions(triples, name="tiny")
+
+
+@pytest.fixture(scope="session")
+def small_config() -> SyntheticConfig:
+    """Configuration of the small synthetic dataset used across the suite."""
+    return SyntheticConfig(
+        name="small-synthetic",
+        n_users=80,
+        n_items=150,
+        target_ratings=3_200,
+        popularity_exponent=1.0,
+        min_user_ratings=10,
+        latent_dim=6,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_config: SyntheticConfig) -> RatingDataset:
+    """A small popularity-biased synthetic dataset (80 users x 150 items)."""
+    return SyntheticDatasetFactory(small_config).generate()
+
+
+@pytest.fixture(scope="session")
+def small_split(small_dataset: RatingDataset) -> TrainTestSplit:
+    """A 50/50 per-user split of the small synthetic dataset."""
+    return RatioSplitter(0.5, seed=11).split(small_dataset)
+
+
+@pytest.fixture(scope="session")
+def medium_split() -> TrainTestSplit:
+    """A slightly larger split for GANC / OSLG behaviour tests."""
+    config = SyntheticConfig(
+        name="medium-synthetic",
+        n_users=150,
+        n_items=300,
+        target_ratings=9_000,
+        popularity_exponent=1.05,
+        min_user_ratings=12,
+        latent_dim=8,
+        seed=21,
+    )
+    dataset = SyntheticDatasetFactory(config).generate()
+    return RatioSplitter(0.6, seed=3).split(dataset)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh deterministic RNG per test."""
+    return np.random.default_rng(1234)

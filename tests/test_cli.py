@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_knows_every_subcommand():
+    parser = build_parser()
+    help_text = parser.format_help()
+    for command in (
+        "table2", "figure1", "figure2", "figure3", "figure4", "figure5",
+        "table4", "table5", "figure6", "figure7-8",
+        "ablation-oslg", "ablation-ordering", "recommend",
+    ):
+        assert command in help_text
+
+
+def test_cli_requires_a_subcommand():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_cli_rejects_unknown_dataset():
+    with pytest.raises(SystemExit):
+        main(["table2", "--datasets", "not-a-dataset"])
+
+
+def test_cli_table2_prints_rows(capsys):
+    exit_code = main(["table2", "--scale", "0.2", "--datasets", "ml100k"])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "Table II" in out
+    assert "ML-100K" in out
+
+
+def test_cli_table2_writes_output_file(tmp_path, capsys):
+    target = tmp_path / "table2.txt"
+    exit_code = main(["table2", "--scale", "0.2", "--datasets", "ml100k", "--output", str(target)])
+    assert exit_code == 0
+    assert target.exists()
+    assert "ML-100K" in target.read_text()
+
+
+def test_cli_figure1_runs(capsys):
+    exit_code = main(["figure1", "--scale", "0.2", "--datasets", "ml100k"])
+    assert exit_code == 0
+    assert "Figure 1" in capsys.readouterr().out
+
+
+def test_cli_figure2_runs(capsys):
+    exit_code = main(["figure2", "--scale", "0.2", "--datasets", "ml100k"])
+    assert exit_code == 0
+    assert "thetaG" in capsys.readouterr().out
+
+
+def test_cli_ablation_ordering_runs(capsys):
+    exit_code = main(["ablation-ordering", "--dataset", "ml100k", "--scale", "0.2"])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "increasing" in out and "decreasing" in out
+
+
+def test_cli_report_writes_markdown(tmp_path, capsys):
+    target = tmp_path / "report.md"
+    exit_code = main(
+        [
+            "report",
+            "--datasets", "ml100k",
+            "--scale", "0.2",
+            "--sample-size", "40",
+            "--skip-table4",
+            "--skip-figure6",
+            "--output", str(target),
+        ]
+    )
+    assert exit_code == 0
+    assert target.exists()
+    assert "# GANC reproduction report" in target.read_text()
+
+
+def test_cli_recommend_reports_metrics(capsys, tmp_path):
+    recs_file = tmp_path / "recs.csv"
+    exit_code = main(
+        [
+            "recommend",
+            "--dataset", "ml100k",
+            "--scale", "0.2",
+            "--arec", "pop",
+            "--theta", "thetaT",
+            "--coverage", "dyn",
+            "--sample-size", "30",
+            "--save-recommendations", str(recs_file),
+        ]
+    )
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "f_measure" in out and "coverage" in out
+    assert recs_file.exists()
+    header = recs_file.read_text().splitlines()[0]
+    assert header == "user,rank,item"

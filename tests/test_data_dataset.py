@@ -1,0 +1,146 @@
+"""Tests for the RatingDataset container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Interaction, RatingDataset
+from repro.exceptions import DataError
+
+
+def test_basic_properties(tiny_dataset):
+    assert tiny_dataset.n_users == 4
+    assert tiny_dataset.n_items == 6
+    assert tiny_dataset.n_ratings == 12
+    assert len(tiny_dataset) == 12
+    assert tiny_dataset.density == pytest.approx(12 / 24)
+
+
+def test_rating_scale(tiny_dataset):
+    assert tiny_dataset.rating_scale == (2.0, 5.0)
+
+
+def test_user_items_and_ratings(tiny_dataset):
+    items = tiny_dataset.user_items(0)
+    assert set(items.tolist()) == {0, 1, 2}
+    items, ratings = tiny_dataset.user_ratings(3)
+    lookup = dict(zip(items.tolist(), ratings.tolist()))
+    assert lookup == {0: 2.0, 4: 5.0, 5: 4.0}
+
+
+def test_item_users(tiny_dataset):
+    users = tiny_dataset.item_users(0)
+    assert set(users.tolist()) == {0, 1, 2, 3}
+    assert set(tiny_dataset.item_users(4).tolist()) == {3}
+
+
+def test_user_activity_and_item_popularity(tiny_dataset):
+    np.testing.assert_array_equal(tiny_dataset.user_activity(), [3, 3, 3, 3])
+    np.testing.assert_array_equal(tiny_dataset.item_popularity(), [4, 2, 2, 2, 1, 1])
+
+
+def test_to_csr_matches_triples(tiny_dataset):
+    csr = tiny_dataset.to_csr()
+    assert csr.shape == (4, 6)
+    assert csr[0, 0] == 5.0
+    assert csr[3, 5] == 4.0
+    assert csr.nnz == 12
+
+
+def test_csr_and_csc_are_cached(tiny_dataset):
+    assert tiny_dataset.to_csr() is tiny_dataset.to_csr()
+    assert tiny_dataset.to_csc() is tiny_dataset.to_csc()
+
+
+def test_mean_rating(tiny_dataset):
+    assert tiny_dataset.mean_rating() == pytest.approx(np.mean([5, 4, 3, 4, 5, 2, 3, 4, 5, 2, 5, 4]))
+
+
+def test_rating_lookup(tiny_dataset):
+    lookup = tiny_dataset.rating_lookup()
+    assert lookup[(0, 0)] == 5.0
+    assert lookup[(2, 3)] == 5.0
+    assert (1, 5) not in lookup
+
+
+def test_iteration_yields_interactions(tiny_dataset):
+    records = list(tiny_dataset)
+    assert len(records) == 12
+    assert all(isinstance(r, Interaction) for r in records)
+
+
+def test_users_and_items_with_ratings(tiny_dataset):
+    np.testing.assert_array_equal(tiny_dataset.users_with_ratings(), [0, 1, 2, 3])
+    np.testing.assert_array_equal(tiny_dataset.items_with_ratings(), [0, 1, 2, 3, 4, 5])
+
+
+def test_from_interactions_maps_raw_ids():
+    data = RatingDataset.from_interactions(
+        [("alice", "x", 5.0), ("bob", "y", 3.0), ("alice", "y", 4.0)]
+    )
+    assert data.n_users == 2
+    assert data.n_items == 2
+    assert data.user_ids == ["alice", "bob"]
+    assert data.item_ids == ["x", "y"]
+
+
+def test_from_interactions_rejects_empty_input():
+    with pytest.raises(DataError):
+        RatingDataset.from_interactions([])
+
+
+def test_with_interactions_preserves_universe(tiny_dataset):
+    subset = tiny_dataset.with_interactions(
+        np.array([0, 1]), np.array([0, 1]), np.array([5.0, 4.0]), name="subset"
+    )
+    assert subset.n_users == tiny_dataset.n_users
+    assert subset.n_items == tiny_dataset.n_items
+    assert subset.n_ratings == 2
+    assert subset.name == "subset"
+
+
+def test_constructor_validates_shapes():
+    with pytest.raises(DataError):
+        RatingDataset(np.array([0]), np.array([0, 1]), np.array([1.0]), n_users=1, n_items=2)
+
+
+def test_constructor_validates_index_bounds():
+    with pytest.raises(DataError):
+        RatingDataset(np.array([5]), np.array([0]), np.array([1.0]), n_users=2, n_items=2)
+    with pytest.raises(DataError):
+        RatingDataset(np.array([0]), np.array([9]), np.array([1.0]), n_users=2, n_items=2)
+
+
+def test_constructor_validates_id_lengths():
+    with pytest.raises(DataError):
+        RatingDataset(
+            np.array([0]), np.array([0]), np.array([1.0]),
+            n_users=2, n_items=1, user_ids=["only-one"],
+        )
+
+
+def test_arrays_are_read_only(tiny_dataset):
+    with pytest.raises(ValueError):
+        tiny_dataset.ratings[0] = 99.0
+
+
+def test_filter_users_with_min_ratings():
+    triples = [(0, 0, 3.0), (0, 1, 4.0), (1, 0, 5.0), (2, 2, 1.0), (2, 3, 2.0), (2, 4, 3.0)]
+    data = RatingDataset.from_interactions(triples)
+    filtered = data.filter_users_with_min_ratings(2)
+    assert filtered.n_users == 2  # users 0 and 2 survive
+    assert filtered.n_ratings == 5
+    # Items are re-indexed to those that still have interactions.
+    assert filtered.n_items == 5
+
+
+def test_filter_users_rejects_bad_minimum(tiny_dataset):
+    with pytest.raises(DataError):
+        tiny_dataset.filter_users_with_min_ratings(0)
+
+
+def test_filter_removing_everything_raises():
+    data = RatingDataset.from_interactions([(0, 0, 1.0), (1, 1, 2.0)])
+    with pytest.raises(DataError):
+        data.filter_users_with_min_ratings(5)

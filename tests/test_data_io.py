@@ -1,0 +1,130 @@
+"""Tests for dataset / recommendation / report persistence."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data.io import (
+    load_dataset_csv,
+    load_recommendations_csv,
+    load_reports_json,
+    report_from_dict,
+    report_to_dict,
+    save_dataset_csv,
+    save_recommendations_csv,
+    save_reports_json,
+)
+from repro.exceptions import DataFormatError
+from repro.metrics.report import MetricReport
+
+
+def test_dataset_csv_roundtrip(tiny_dataset, tmp_path):
+    path = save_dataset_csv(tiny_dataset, tmp_path / "ratings.csv")
+    loaded = load_dataset_csv(path)
+    assert loaded.n_ratings == tiny_dataset.n_ratings
+    assert loaded.n_users == tiny_dataset.n_users
+    assert loaded.n_items == tiny_dataset.n_items
+    assert sorted(loaded.ratings.tolist()) == sorted(tiny_dataset.ratings.tolist())
+
+
+def test_dataset_csv_preserves_raw_ids(tmp_path):
+    from repro.data.dataset import RatingDataset
+
+    data = RatingDataset.from_interactions(
+        [("alice", "matrix", 5.0), ("bob", "alien", 4.0), ("alice", "alien", 3.0)]
+    )
+    path = save_dataset_csv(data, tmp_path / "named.csv")
+    text = path.read_text()
+    assert "alice" in text and "matrix" in text
+    loaded = load_dataset_csv(path)
+    assert set(loaded.user_ids) == {"alice", "bob"}
+
+
+def test_recommendations_csv_roundtrip(tmp_path):
+    recs = {0: np.array([5, 3, 9]), 2: np.array([1]), 7: np.array([4, 2])}
+    path = save_recommendations_csv(recs, tmp_path / "recs.csv")
+    loaded = load_recommendations_csv(path)
+    assert set(loaded) == {0, 2, 7}
+    np.testing.assert_array_equal(loaded[0], [5, 3, 9])
+    np.testing.assert_array_equal(loaded[7], [4, 2])
+
+
+def test_recommendations_preserve_rank_order(tmp_path):
+    recs = {0: np.array([9, 1, 5])}
+    path = save_recommendations_csv(recs, tmp_path / "recs.csv")
+    loaded = load_recommendations_csv(path)
+    np.testing.assert_array_equal(loaded[0], [9, 1, 5])
+
+
+def test_recommendations_bad_header_rejected(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("a,b,c\n1,1,1\n")
+    with pytest.raises(DataFormatError):
+        load_recommendations_csv(path)
+
+
+def test_recommendations_non_integer_rejected(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("user,rank,item\n1,1,abc\n")
+    with pytest.raises(DataFormatError):
+        load_recommendations_csv(path)
+
+
+def test_recommendations_missing_file(tmp_path):
+    with pytest.raises(DataFormatError):
+        load_recommendations_csv(tmp_path / "missing.csv")
+
+
+def _report() -> MetricReport:
+    return MetricReport(
+        algorithm="GANC",
+        dataset="ml100k",
+        n=5,
+        precision=0.1,
+        recall=0.2,
+        f_measure=0.066,
+        lt_accuracy=0.3,
+        stratified_recall=0.05,
+        coverage=0.9,
+        gini=0.4,
+        extras={"ndcg": 0.15},
+    )
+
+
+def test_report_dict_roundtrip():
+    report = _report()
+    payload = report_to_dict(report)
+    rebuilt = report_from_dict(payload)
+    assert rebuilt == report
+
+
+def test_report_from_dict_rejects_missing_fields():
+    with pytest.raises(DataFormatError):
+        report_from_dict({"algorithm": "x"})
+
+
+def test_reports_json_roundtrip(tmp_path):
+    reports = [_report(), _report()]
+    path = save_reports_json(reports, tmp_path / "reports.json")
+    loaded = load_reports_json(path)
+    assert loaded == reports
+    # The file is human-readable JSON.
+    parsed = json.loads(path.read_text())
+    assert isinstance(parsed, list) and parsed[0]["algorithm"] == "GANC"
+
+
+def test_reports_json_rejects_non_array(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"algorithm": "x"}')
+    with pytest.raises(DataFormatError):
+        load_reports_json(path)
+
+
+def test_reports_json_rejects_invalid_json(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("not json at all")
+    with pytest.raises(DataFormatError):
+        load_reports_json(path)

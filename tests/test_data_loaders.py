@@ -1,0 +1,130 @@
+"""Tests for the dataset file-format loaders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.loaders import (
+    load_csv_ratings,
+    load_movielens_100k,
+    load_movielens_dat,
+    load_movietweetings,
+    load_netflix_directory,
+    map_rating_to_five_star,
+)
+from repro.exceptions import DataFormatError
+
+
+def test_load_movielens_100k(tmp_path):
+    path = tmp_path / "u.data"
+    path.write_text("1\t10\t5\t874965758\n1\t20\t3\t876893171\n2\t10\t4\t878542960\n")
+    data = load_movielens_100k(path)
+    assert data.n_users == 2
+    assert data.n_items == 2
+    assert data.n_ratings == 3
+    assert data.rating_scale == (3.0, 5.0)
+
+
+def test_load_movielens_dat(tmp_path):
+    path = tmp_path / "ratings.dat"
+    path.write_text("1::1193::5::978300760\n1::661::3::978302109\n2::1193::4::978301968\n")
+    data = load_movielens_dat(path, name="ml1m-test")
+    assert data.name == "ml1m-test"
+    assert data.n_ratings == 3
+    assert data.n_users == 2
+
+
+def test_load_movielens_skips_blank_lines(tmp_path):
+    path = tmp_path / "u.data"
+    path.write_text("1\t10\t5\t0\n\n2\t10\t4\t0\n")
+    assert load_movielens_100k(path).n_ratings == 2
+
+
+def test_loader_rejects_malformed_lines(tmp_path):
+    path = tmp_path / "u.data"
+    path.write_text("1\t10\n")
+    with pytest.raises(DataFormatError):
+        load_movielens_100k(path)
+
+
+def test_loader_rejects_non_numeric_rating(tmp_path):
+    path = tmp_path / "u.data"
+    path.write_text("1\t10\tfive\t0\n")
+    with pytest.raises(DataFormatError):
+        load_movielens_100k(path)
+
+
+def test_loader_missing_file_raises(tmp_path):
+    with pytest.raises(DataFormatError):
+        load_movielens_100k(tmp_path / "does-not-exist.data")
+
+
+def test_map_rating_to_five_star_endpoints():
+    assert map_rating_to_five_star(0.0) == pytest.approx(1.0)
+    assert map_rating_to_five_star(10.0) == pytest.approx(5.0)
+    assert map_rating_to_five_star(5.0) == pytest.approx(3.0)
+
+
+def test_map_rating_clips_out_of_range():
+    assert map_rating_to_five_star(12.0) == pytest.approx(5.0)
+    assert map_rating_to_five_star(-3.0) == pytest.approx(1.0)
+
+
+def test_load_movietweetings_maps_and_filters(tmp_path):
+    path = tmp_path / "ratings.dat"
+    lines = [f"1::{100 + i}::10::0" for i in range(6)] + ["2::100::8::0"]
+    path.write_text("\n".join(lines) + "\n")
+    data = load_movietweetings(path, min_user_ratings=5)
+    # User 2 has only one rating and is filtered out.
+    assert data.n_users == 1
+    assert data.rating_scale[1] == pytest.approx(5.0)
+
+
+def test_load_netflix_directory(tmp_path):
+    (tmp_path / "mv_0000001.txt").write_text("1:\n101,5,2005-09-06\n102,3,2005-09-07\n")
+    (tmp_path / "mv_0000002.txt").write_text("2:\n101,4,2005-09-06\n")
+    data = load_netflix_directory(tmp_path)
+    assert data.n_items == 2
+    assert data.n_users == 2
+    assert data.n_ratings == 3
+
+
+def test_load_netflix_rejects_missing_header(tmp_path):
+    (tmp_path / "mv_0000001.txt").write_text("101,5,2005-09-06\n")
+    with pytest.raises(DataFormatError):
+        load_netflix_directory(tmp_path)
+
+
+def test_load_netflix_empty_directory(tmp_path):
+    with pytest.raises(DataFormatError):
+        load_netflix_directory(tmp_path)
+
+
+def test_load_netflix_limit_files(tmp_path):
+    (tmp_path / "mv_0000001.txt").write_text("1:\n101,5,2005-09-06\n")
+    (tmp_path / "mv_0000002.txt").write_text("2:\n102,4,2005-09-06\n")
+    data = load_netflix_directory(tmp_path, limit_files=1)
+    assert data.n_items == 1
+
+
+def test_load_csv_with_header(tmp_path):
+    path = tmp_path / "ratings.csv"
+    path.write_text("user,item,rating,ts\nu1,i1,4.5,0\nu2,i1,2.0,0\n")
+    data = load_csv_ratings(path)
+    assert data.n_ratings == 2
+    assert data.rating_scale == (2.0, 4.5)
+
+
+def test_load_csv_without_header(tmp_path):
+    path = tmp_path / "ratings.csv"
+    path.write_text("u1,i1,4.5\nu2,i2,2.0\n")
+    data = load_csv_ratings(path, has_header=False)
+    assert data.n_ratings == 2
+    assert data.n_items == 2
+
+
+def test_load_csv_rejects_short_rows(tmp_path):
+    path = tmp_path / "ratings.csv"
+    path.write_text("user,item,rating\nu1,i1\n")
+    with pytest.raises(DataFormatError):
+        load_csv_ratings(path)

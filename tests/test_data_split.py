@@ -1,0 +1,94 @@
+"""Tests for the train/test splitters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import RatingDataset
+from repro.data.split import LeaveKOutSplitter, RatioSplitter, TrainTestSplit, split_ratings
+from repro.exceptions import SplitError
+
+
+def _pairs(dataset: RatingDataset) -> set[tuple[int, int]]:
+    return set(zip(dataset.user_indices.tolist(), dataset.item_indices.tolist()))
+
+
+def test_ratio_split_partitions_interactions(small_dataset):
+    split = RatioSplitter(0.7, seed=0).split(small_dataset)
+    assert split.n_ratings == small_dataset.n_ratings
+    assert _pairs(split.train).isdisjoint(_pairs(split.test))
+    assert _pairs(split.train) | _pairs(split.test) == _pairs(small_dataset)
+
+
+def test_ratio_split_preserves_universe(small_dataset):
+    split = RatioSplitter(0.7, seed=0).split(small_dataset)
+    assert split.train.n_users == small_dataset.n_users
+    assert split.train.n_items == small_dataset.n_items
+    assert split.test.n_users == small_dataset.n_users
+
+
+def test_ratio_split_every_user_keeps_train_ratings(small_dataset):
+    split = RatioSplitter(0.5, seed=1).split(small_dataset)
+    original_activity = small_dataset.user_activity()
+    train_activity = split.train.user_activity()
+    assert np.all(train_activity[original_activity > 0] >= 1)
+
+
+def test_ratio_split_respects_ratio_approximately(small_dataset):
+    split = RatioSplitter(0.8, seed=2).split(small_dataset)
+    ratio = split.train.n_ratings / small_dataset.n_ratings
+    assert 0.7 < ratio < 0.9
+
+
+def test_ratio_split_small_users_behave_like_the_paper():
+    """A 5-rating user with kappa=0.8 keeps 4 ratings in train and 1 in test."""
+    triples = [(0, i, 3.0) for i in range(5)] + [(1, i, 4.0) for i in range(100)]
+    data = RatingDataset.from_interactions(triples)
+    split = RatioSplitter(0.8, seed=0).split(data)
+    assert split.train.user_activity()[0] == 4
+    assert split.test.user_activity()[0] == 1
+    assert split.train.user_activity()[1] == 80
+
+
+def test_ratio_split_is_deterministic_per_seed(small_dataset):
+    a = RatioSplitter(0.6, seed=5).split(small_dataset)
+    b = RatioSplitter(0.6, seed=5).split(small_dataset)
+    assert _pairs(a.train) == _pairs(b.train)
+    c = RatioSplitter(0.6, seed=6).split(small_dataset)
+    assert _pairs(a.train) != _pairs(c.train)
+
+
+def test_ratio_splitter_rejects_bad_ratio():
+    with pytest.raises(SplitError):
+        RatioSplitter(0.0)
+    with pytest.raises(SplitError):
+        RatioSplitter(1.0)
+
+
+def test_split_ratings_convenience(small_dataset):
+    split = split_ratings(small_dataset, train_ratio=0.5, seed=0)
+    assert isinstance(split, TrainTestSplit)
+    assert split.train.n_ratings > 0 and split.test.n_ratings > 0
+
+
+def test_leave_k_out_holds_out_k_per_user(small_dataset):
+    split = LeaveKOutSplitter(k=2, seed=0).split(small_dataset)
+    test_activity = split.test.user_activity()
+    original = small_dataset.user_activity()
+    for user in range(small_dataset.n_users):
+        if original[user] > 2:
+            assert test_activity[user] == 2
+        else:
+            assert test_activity[user] == 0
+
+
+def test_leave_k_out_rejects_bad_k():
+    with pytest.raises(SplitError):
+        LeaveKOutSplitter(k=0)
+
+
+def test_train_test_split_requires_matching_universe(tiny_dataset, small_dataset):
+    tiny_split = RatioSplitter(0.6, seed=0).split(tiny_dataset)
+    with pytest.raises(SplitError):
+        TrainTestSplit(train=tiny_split.train, test=small_dataset)

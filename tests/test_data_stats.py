@@ -1,0 +1,86 @@
+"""Tests for the descriptive dataset statistics module."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.stats import (
+    DistributionSummary,
+    average_rated_popularity_per_user,
+    popularity_concentration,
+    summarize_dataset,
+)
+from repro.exceptions import ConfigurationError
+
+
+def test_distribution_summary_basic():
+    summary = DistributionSummary.from_values(np.array([1, 2, 3, 4, 5]))
+    assert summary.minimum == 1 and summary.maximum == 5
+    assert summary.median == 3
+    assert summary.mean == pytest.approx(3.0)
+
+
+def test_distribution_summary_rejects_empty():
+    with pytest.raises(ConfigurationError):
+        DistributionSummary.from_values(np.array([]))
+
+
+def test_summarize_dataset_core_fields(tiny_dataset):
+    summary = summarize_dataset(tiny_dataset)
+    assert summary.n_users == 4
+    assert summary.n_items == 6
+    assert summary.n_ratings == 12
+    assert summary.density == pytest.approx(0.5)
+    assert 0.0 <= summary.long_tail_share <= 1.0
+    assert summary.mean_rating == pytest.approx(tiny_dataset.mean_rating())
+
+
+def test_summarize_dataset_infrequent_share(tiny_dataset):
+    # Every user in the tiny dataset has 3 ratings -> all are "infrequent" at
+    # the default threshold of 10, none at a threshold of 2.
+    assert summarize_dataset(tiny_dataset).infrequent_user_share == pytest.approx(1.0)
+    assert summarize_dataset(tiny_dataset, infrequent_threshold=2).infrequent_user_share == 0.0
+
+
+def test_summarize_dataset_rating_histogram(tiny_dataset):
+    summary = summarize_dataset(tiny_dataset)
+    assert sum(summary.rating_values.values()) == tiny_dataset.n_ratings
+    assert summary.rating_values[5.0] == 4
+
+
+def test_summarize_dataset_rejects_bad_threshold(tiny_dataset):
+    with pytest.raises(ConfigurationError):
+        summarize_dataset(tiny_dataset, infrequent_threshold=0)
+
+
+def test_summary_as_rows_is_renderable(small_dataset):
+    rows = summarize_dataset(small_dataset).as_rows()
+    assert len(rows) >= 10
+    assert all(len(row) == 2 for row in rows)
+
+
+def test_average_rated_popularity_matches_manual(tiny_dataset):
+    values = average_rated_popularity_per_user(tiny_dataset)
+    popularity = tiny_dataset.item_popularity()
+    expected_user0 = popularity[[0, 1, 2]].mean()
+    assert values[0] == pytest.approx(expected_user0)
+    # The explorer (user 3) rated the blockbuster plus two singletons.
+    assert values[3] == pytest.approx(popularity[[0, 4, 5]].mean())
+    assert values[3] < values[0]
+
+
+def test_popularity_concentration_monotone_in_fraction(small_dataset):
+    top10 = popularity_concentration(small_dataset, top_fraction=0.1)
+    top50 = popularity_concentration(small_dataset, top_fraction=0.5)
+    assert 0.0 < top10 <= top50 <= 1.0
+    # With popularity bias, the top decile holds clearly more than a tenth of
+    # the rating mass.
+    assert top10 > 0.1
+
+
+def test_popularity_concentration_validation(small_dataset):
+    with pytest.raises(ConfigurationError):
+        popularity_concentration(small_dataset, top_fraction=0.0)
+    with pytest.raises(ConfigurationError):
+        popularity_concentration(small_dataset, top_fraction=1.5)

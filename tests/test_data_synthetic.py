@@ -1,0 +1,119 @@
+"""Tests for the synthetic popularity-biased dataset generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.popularity import PopularityStats
+from repro.data.synthetic import (
+    DATASET_PROFILES,
+    SyntheticConfig,
+    SyntheticDatasetFactory,
+    make_dataset,
+)
+from repro.exceptions import ConfigurationError
+
+
+def test_generator_respects_universe_size(small_config):
+    data = SyntheticDatasetFactory(small_config).generate()
+    assert data.n_users == small_config.n_users
+    assert data.n_items == small_config.n_items
+
+
+def test_generator_is_deterministic(small_config):
+    a = SyntheticDatasetFactory(small_config).generate()
+    b = SyntheticDatasetFactory(small_config).generate()
+    np.testing.assert_array_equal(a.user_indices, b.user_indices)
+    np.testing.assert_array_equal(a.item_indices, b.item_indices)
+    np.testing.assert_array_equal(a.ratings, b.ratings)
+
+
+def test_generator_seed_override_changes_data(small_config):
+    a = SyntheticDatasetFactory(small_config).generate()
+    b = SyntheticDatasetFactory(small_config).generate(seed=999)
+    assert not np.array_equal(a.item_indices, b.item_indices)
+
+
+def test_every_user_meets_minimum_activity(small_config, small_dataset):
+    activity = small_dataset.user_activity()
+    assert activity.min() >= small_config.min_user_ratings
+
+
+def test_no_duplicate_user_item_pairs(small_dataset):
+    pairs = set(zip(small_dataset.user_indices.tolist(), small_dataset.item_indices.tolist()))
+    assert len(pairs) == small_dataset.n_ratings
+
+
+def test_ratings_use_allowed_levels(small_config, small_dataset):
+    allowed = set(small_config.rating_levels)
+    assert set(np.unique(small_dataset.ratings).tolist()).issubset(allowed)
+
+
+def test_total_ratings_close_to_target(small_config, small_dataset):
+    assert small_dataset.n_ratings <= small_config.target_ratings
+    assert small_dataset.n_ratings >= 0.8 * small_config.target_ratings
+
+
+def test_popularity_distribution_is_heavy_tailed(small_dataset):
+    popularity = np.sort(small_dataset.item_popularity())[::-1]
+    top_decile = popularity[: max(1, popularity.size // 10)].sum()
+    assert top_decile / popularity.sum() > 0.2
+
+
+def test_popular_items_receive_higher_ratings_on_average(small_dataset):
+    """The generator injects the 'missing not at random' popularity bias."""
+    stats = PopularityStats.from_dataset(small_dataset)
+    tail_mask = stats.long_tail_mask[small_dataset.item_indices]
+    head_ratings = small_dataset.ratings[~tail_mask]
+    tail_ratings = small_dataset.ratings[tail_mask]
+    assert head_ratings.mean() > tail_ratings.mean()
+
+
+def test_config_validation_rejects_bad_values():
+    with pytest.raises(ConfigurationError):
+        SyntheticConfig(n_users=1, n_items=10, target_ratings=5, min_user_ratings=1)
+    with pytest.raises(ConfigurationError):
+        SyntheticConfig(n_users=10, n_items=10, target_ratings=5, min_user_ratings=1)
+    with pytest.raises(ConfigurationError):
+        SyntheticConfig(n_users=10, n_items=10, target_ratings=1000, min_user_ratings=1)
+    with pytest.raises(ConfigurationError):
+        SyntheticConfig(n_users=10, n_items=5, target_ratings=60, min_user_ratings=8)
+
+
+def test_config_scaled_shrinks_consistently(small_config):
+    scaled = small_config.scaled(0.5)
+    assert scaled.n_users < small_config.n_users
+    assert scaled.n_items < small_config.n_items
+    assert scaled.target_ratings <= scaled.n_users * scaled.n_items
+    assert scaled.min_user_ratings == small_config.min_user_ratings
+
+
+def test_config_scaled_rejects_non_positive_factor(small_config):
+    with pytest.raises(ConfigurationError):
+        small_config.scaled(0.0)
+
+
+def test_dataset_profiles_cover_all_table2_datasets():
+    assert set(DATASET_PROFILES) == {"ml100k", "ml1m", "ml10m", "mt200k", "netflix"}
+
+
+def test_profiles_have_distinct_density_ordering():
+    """The dense/sparse ordering of Table II is preserved by the surrogates."""
+    densities = {}
+    for key in ("ml100k", "mt200k"):
+        config = DATASET_PROFILES[key]
+        densities[key] = config.target_ratings / (config.n_users * config.n_items)
+    assert densities["ml100k"] > 10 * densities["mt200k"]
+
+
+def test_make_dataset_with_scale():
+    data = make_dataset("ml100k", scale=0.25)
+    full = DATASET_PROFILES["ml100k"]
+    assert data.n_users < full.n_users
+    assert data.n_ratings > 0
+
+
+def test_make_dataset_rejects_unknown_profile():
+    with pytest.raises(ConfigurationError):
+        make_dataset("unknown-profile")

@@ -1,0 +1,31 @@
+"""Exception hierarchy contracts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import exceptions
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in (
+        "DataError",
+        "DataFormatError",
+        "SplitError",
+        "NotFittedError",
+        "ConfigurationError",
+        "OptimizationError",
+        "EvaluationError",
+    ):
+        assert issubclass(getattr(exceptions, name), exceptions.ReproError)
+
+
+def test_data_format_and_split_errors_are_data_errors():
+    assert issubclass(exceptions.DataFormatError, exceptions.DataError)
+    assert issubclass(exceptions.SplitError, exceptions.DataError)
+
+
+def test_repro_error_is_an_exception():
+    assert issubclass(exceptions.ReproError, Exception)
+    with pytest.raises(exceptions.ReproError):
+        raise exceptions.ConfigurationError("bad configuration")

@@ -1,0 +1,163 @@
+"""Tests for the comparison experiments: Table IV, Figure 6, Table V, Figures 7-8."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure6 import accuracy_recommender_for, run_figure6_for_dataset
+from repro.experiments.figure7_8 import protocol_accuracy_inflation, run_protocol_comparison
+from repro.experiments.table4 import (
+    best_average_rank_algorithm,
+    run_table4,
+    run_table4_for_dataset,
+    table4_algorithms,
+)
+from repro.experiments.table5 import best_configuration, run_table5_for_dataset
+
+SCALE = 0.2
+
+
+@pytest.fixture(scope="module")
+def table4_rows():
+    return run_table4_for_dataset("ml100k", scale=SCALE, sample_size=80, seed=0)
+
+
+def test_table4_contains_all_nine_algorithms(table4_rows):
+    names = {row.algorithm for row in table4_rows}
+    assert names == set(table4_algorithms())
+    assert len(table4_rows) == 9
+
+
+def test_table4_ranks_are_competition_ranks(table4_rows):
+    for metric in ("f_measure", "coverage", "gini"):
+        ranks = [row.ranks[metric] for row in table4_rows]
+        assert min(ranks) == 1
+        assert max(ranks) <= len(table4_rows)
+
+
+def test_table4_average_rank_is_mean_of_metric_ranks(table4_rows):
+    for row in table4_rows:
+        assert row.average_rank == pytest.approx(sum(row.ranks.values()) / len(row.ranks))
+
+
+def test_table4_ganc_improves_coverage_over_base(table4_rows):
+    """Table IV headline: GANC variants dominate the base RSVD on coverage."""
+    by_name = {row.algorithm: row for row in table4_rows}
+    base = by_name["RSVD"]
+    for name in ("GANC(RSVD, thetaT, Dyn)", "GANC(RSVD, thetaG, Dyn)"):
+        assert by_name[name].report.coverage > base.report.coverage
+        assert by_name[name].report.gini < base.report.gini
+
+
+def test_table4_ganc_is_competitive_on_average_rank(table4_rows):
+    """GANC has (one of) the lowest average ranks on the surrogate too."""
+    best = best_average_rank_algorithm(table4_rows, "ML-100K")
+    ganc_ranks = [
+        row.average_rank for row in table4_rows if row.algorithm.startswith("GANC")
+    ]
+    non_ganc_best = min(
+        row.average_rank for row in table4_rows if not row.algorithm.startswith("GANC")
+    )
+    assert min(ganc_ranks) <= non_ganc_best + 0.5 or best.startswith("GANC")
+
+
+def test_table4_multi_dataset_wrapper():
+    rows, table = run_table4(
+        datasets=["ml100k"], scale=SCALE, sample_size=50, seed=0,
+        algorithms=["RSVD", "GANC(RSVD, thetaG, Dyn)"],
+    )
+    assert len(rows) == 2
+    assert len(table.rows) == 2
+
+
+def test_best_average_rank_requires_known_dataset(table4_rows):
+    with pytest.raises(ValueError):
+        best_average_rank_algorithm(table4_rows, "Nonexistent")
+
+
+# --------------------------------------------------------------------------- #
+# Figure 6
+# --------------------------------------------------------------------------- #
+def test_accuracy_recommender_choice_follows_density():
+    assert accuracy_recommender_for("mt200k") == "pop"
+    assert accuracy_recommender_for("ml1m") == "psvd100"
+
+
+@pytest.fixture(scope="module")
+def figure6_points():
+    return run_figure6_for_dataset(
+        "ml100k", scale=SCALE, sample_size=60, seed=0, baselines=("rand", "pop", "psvd10")
+    )
+
+
+def test_figure6_has_baselines_and_ganc_variants(figure6_points):
+    names = {p.algorithm for p in figure6_points}
+    assert {"rand", "pop", "psvd10"} <= names
+    assert any(name.startswith("GANC(") and name.endswith("Dyn)") for name in names)
+    assert any(name.startswith("PRA(") for name in names)
+
+
+def test_figure6_rand_and_pop_are_the_extremes(figure6_points):
+    by_name = {p.algorithm: p for p in figure6_points}
+    rand, pop = by_name["rand"], by_name["pop"]
+    assert rand.coverage > pop.coverage
+    assert pop.f_measure > rand.f_measure
+    assert rand.lt_accuracy > pop.lt_accuracy
+
+
+def test_figure6_ganc_dyn_gains_coverage_over_its_arec(figure6_points):
+    by_name = {p.algorithm: p for p in figure6_points}
+    arec_name = accuracy_recommender_for("ml100k")
+    ganc = next(p for name, p in by_name.items() if name.startswith("GANC(") and name.endswith("Dyn)"))
+    # The bare accuracy recommender appears among the baselines only when
+    # requested; compare against Pop which shares its profile here.
+    assert ganc.coverage > by_name["pop"].coverage
+
+
+# --------------------------------------------------------------------------- #
+# Table V
+# --------------------------------------------------------------------------- #
+def test_table5_grid_search_and_best_configuration():
+    points = run_table5_for_dataset(
+        "ml100k",
+        factors=(4, 8),
+        regs=(0.05,),
+        learning_rates=(0.02,),
+        n_epochs=8,
+        include_non_negative=True,
+        scale=SCALE,
+        seed=0,
+    )
+    assert len(points) == 4  # 2 models x 2 factor settings
+    best_rsvd = best_configuration(points, "RSVD")
+    assert best_rsvd.validation_rmse == min(
+        p.validation_rmse for p in points if p.model == "RSVD"
+    )
+    assert best_rsvd.validation_rmse < 2.0
+    with pytest.raises(ValueError):
+        best_configuration(points, "UNKNOWN")
+
+
+# --------------------------------------------------------------------------- #
+# Figures 7-8
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def protocol_points():
+    return run_protocol_comparison(
+        "ml100k", algorithms=("rand", "pop", "psvd10"), scale=SCALE, seed=0
+    )
+
+
+def test_protocol_comparison_covers_both_protocols(protocol_points):
+    protocols = {p.protocol for p in protocol_points}
+    assert protocols == {"all_unrated_items", "rated_test_items"}
+    assert len(protocol_points) == 6
+
+
+def test_rated_protocol_inflates_accuracy(protocol_points):
+    """The appendix claim: measured precision is higher under the biased protocol."""
+    assert protocol_accuracy_inflation(protocol_points, metric="precision") > 0.0
+
+
+def test_rated_protocol_deflates_lt_accuracy(protocol_points):
+    assert protocol_accuracy_inflation(protocol_points, metric="lt_accuracy") <= 0.0

@@ -1,0 +1,133 @@
+"""Tests for the experiment dataset registry and the shared runner utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.datasets import (
+    EXPERIMENT_DATASETS,
+    load_experiment_split,
+    profile_config,
+)
+from repro.experiments.runner import (
+    ExperimentTable,
+    SeriesResult,
+    TABLE4_METRICS,
+    average_ranks,
+    build_accuracy_recommender,
+    metric_ranks,
+)
+from repro.metrics.report import MetricReport
+from repro.recommenders.cofirank import CofiRank
+from repro.recommenders.popularity import MostPopular
+from repro.recommenders.puresvd import PureSVD
+from repro.recommenders.random import RandomRecommender
+from repro.recommenders.rsvd import RSVD
+
+
+def test_registry_covers_all_paper_datasets():
+    assert set(EXPERIMENT_DATASETS) == {"ml100k", "ml1m", "ml10m", "mt200k", "netflix"}
+    assert EXPERIMENT_DATASETS["ml1m"].train_ratio == 0.5
+    assert EXPERIMENT_DATASETS["mt200k"].train_ratio == 0.8
+    assert EXPERIMENT_DATASETS["mt200k"].min_user_ratings == 5
+
+
+def test_load_experiment_split_scales(small_config):
+    dataset, split = load_experiment_split("ml100k", scale=0.2, seed=0)
+    assert dataset.n_users < 400
+    assert split.train.n_users == dataset.n_users
+    assert split.train.n_ratings + split.test.n_ratings == dataset.n_ratings
+
+
+def test_load_experiment_split_unknown_key():
+    with pytest.raises(ConfigurationError):
+        load_experiment_split("ml42")
+    with pytest.raises(ConfigurationError):
+        profile_config("ml42")
+
+
+def test_profile_config_roundtrip():
+    config = profile_config("netflix")
+    assert config.name.startswith("Netflix")
+
+
+# --------------------------------------------------------------------------- #
+# ExperimentTable / SeriesResult
+# --------------------------------------------------------------------------- #
+def test_experiment_table_add_and_render():
+    table = ExperimentTable(title="T", headers=["a", "b"])
+    table.add_row(["x", 1.0])
+    assert "T" in table.to_text()
+    assert table.column("a") == ["x"]
+    with pytest.raises(ConfigurationError):
+        table.add_row(["only-one"])
+    with pytest.raises(ConfigurationError):
+        table.column("missing")
+
+
+def test_series_result_accumulates_points():
+    series = SeriesResult(label="s")
+    series.add_point(1, 2)
+    series.add_point(3, 4)
+    assert series.as_rows() == [[1.0, 2.0], [3.0, 4.0]]
+
+
+# --------------------------------------------------------------------------- #
+# build_accuracy_recommender
+# --------------------------------------------------------------------------- #
+def test_build_accuracy_recommender_types():
+    assert isinstance(build_accuracy_recommender("pop"), MostPopular)
+    assert isinstance(build_accuracy_recommender("rand"), RandomRecommender)
+    assert isinstance(build_accuracy_recommender("rsvd"), RSVD)
+    assert isinstance(build_accuracy_recommender("rsvdn"), RSVD)
+    assert isinstance(build_accuracy_recommender("psvd100"), PureSVD)
+    assert isinstance(build_accuracy_recommender("cofir100"), CofiRank)
+    with pytest.raises(ConfigurationError):
+        build_accuracy_recommender("unknown")
+
+
+def test_build_accuracy_recommender_scales_ranks():
+    full = build_accuracy_recommender("psvd100", scale_hint=1.0)
+    small = build_accuracy_recommender("psvd100", scale_hint=0.2)
+    assert full.n_factors == 100
+    assert small.n_factors == 20
+    assert build_accuracy_recommender("psvd10", scale_hint=0.1).n_factors >= 3
+
+
+# --------------------------------------------------------------------------- #
+# Rank aggregation
+# --------------------------------------------------------------------------- #
+def _report(name: str, **metrics: float) -> MetricReport:
+    defaults = dict(
+        precision=0.0, recall=0.0, f_measure=0.0, lt_accuracy=0.0,
+        stratified_recall=0.0, coverage=0.0, gini=1.0,
+    )
+    defaults.update(metrics)
+    return MetricReport(algorithm=name, dataset="d", n=5, **defaults)
+
+
+def test_metric_ranks_higher_is_better():
+    reports = [_report("a", f_measure=0.3), _report("b", f_measure=0.1), _report("c", f_measure=0.2)]
+    assert metric_ranks(reports, "f_measure") == [1, 3, 2]
+
+
+def test_metric_ranks_lower_is_better_for_gini():
+    reports = [_report("a", gini=0.9), _report("b", gini=0.5)]
+    assert metric_ranks(reports, "gini", higher_is_better=False) == [2, 1]
+
+
+def test_metric_ranks_handle_ties():
+    reports = [_report("a", coverage=0.5), _report("b", coverage=0.5), _report("c", coverage=0.1)]
+    ranks = metric_ranks(reports, "coverage")
+    assert ranks[0] == ranks[1] == 1
+    assert ranks[2] == 3
+
+
+def test_average_ranks_across_table4_metrics():
+    good = _report("good", f_measure=0.3, stratified_recall=0.2, lt_accuracy=0.5, coverage=0.8, gini=0.4)
+    bad = _report("bad", f_measure=0.1, stratified_recall=0.1, lt_accuracy=0.2, coverage=0.2, gini=0.9)
+    averages = average_ranks([good, bad])
+    assert averages[0] < averages[1]
+    assert set(TABLE4_METRICS) == {"f_measure", "stratified_recall", "lt_accuracy", "coverage", "gini"}

@@ -1,0 +1,76 @@
+"""Tests for the descriptive experiments: Table II, Figure 1 and Figure 2."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figure1 import popularity_vs_activity, run_figure1
+from repro.experiments.figure2 import FIGURE2_MODELS, preference_histograms, run_figure2
+from repro.experiments.table2 import dataset_statistics, run_table2
+from repro.experiments.datasets import EXPERIMENT_DATASETS
+
+SCALE = 0.25
+
+
+def test_run_table2_produces_one_row_per_dataset():
+    table = run_table2(datasets=["ml100k", "mt200k"], scale=SCALE)
+    assert len(table.rows) == 2
+    assert table.headers[0] == "Dataset"
+    titles = table.column("Dataset")
+    assert titles == ["ML-100K", "MT-200K"]
+
+
+def test_table2_density_ordering_matches_paper():
+    """ML-100K is the densest dataset and MT-200K the sparsest (Table II)."""
+    table = run_table2(datasets=["ml100k", "ml1m", "mt200k"], scale=SCALE)
+    densities = dict(zip(table.column("Dataset"), table.column("d%")))
+    assert densities["ML-100K"] > densities["ML-1M"] > densities["MT-200K"]
+
+
+def test_table2_statistics_are_consistent(small_split, small_dataset):
+    stats = dataset_statistics(
+        small_dataset, small_split, title="small", train_ratio=0.5, min_user_ratings=10
+    )
+    assert stats.n_ratings == small_dataset.n_ratings
+    assert 0.0 < stats.density_percent < 100.0
+    assert 0.0 < stats.long_tail_percent <= 100.0
+
+
+def test_figure1_curve_is_decreasing_on_surrogates(small_split):
+    """The motivating Figure 1 trend: active users rate less popular items."""
+    curve = popularity_vs_activity(small_split.train, n_bins=5, label="small")
+    assert len(curve.series.x) >= 2
+    assert curve.is_decreasing_overall()
+
+
+def test_run_figure1_covers_requested_datasets():
+    curves, table = run_figure1(datasets=["ml100k"], scale=SCALE, n_bins=5)
+    assert len(curves) == 1
+    assert curves[0].dataset == "ML-100K"
+    assert len(table.rows) == len(curves[0].series.x)
+
+
+def test_figure2_histograms_have_expected_models(small_split):
+    histograms = preference_histograms(small_split.train, n_bins=10, label="small")
+    assert set(histograms) == set(FIGURE2_MODELS)
+    for hist in histograms.values():
+        assert hist.counts.sum() == small_split.train.n_users
+        assert 0.0 <= hist.mean <= 1.0
+
+
+def test_figure2_activity_is_most_skewed(small_split):
+    """Figure 2's claim: θA is right-skewed, θG is closer to symmetric."""
+    histograms = preference_histograms(small_split.train, label="small")
+    assert histograms["thetaA"].skewness > histograms["thetaG"].skewness
+
+
+def test_figure2_generalized_mean_exceeds_longtail_fraction_mean(small_split):
+    """θG has a larger mean than the sparsity-biased θN on every dataset."""
+    histograms = preference_histograms(small_split.train, label="small")
+    assert histograms["thetaG"].mean > histograms["thetaN"].mean
+
+
+def test_run_figure2_table_rows():
+    results, table = run_figure2(datasets=["ml100k"], scale=SCALE)
+    assert set(results) == {"ml100k"}
+    assert len(table.rows) == len(FIGURE2_MODELS)

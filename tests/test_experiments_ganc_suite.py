@@ -1,0 +1,108 @@
+"""Tests for the GANC-centric experiments: Figures 3-5 and the ablations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import run_ordering_ablation, run_oslg_vs_greedy
+from repro.experiments.figure3_4 import run_figure3, run_figure4, run_sample_size_sweep
+from repro.experiments.figure5 import informed_vs_uninformed_gap, run_figure5
+
+SCALE = 0.2
+
+
+@pytest.fixture(scope="module")
+def sweep_result():
+    return run_sample_size_sweep(
+        "ml1m",
+        sample_sizes=(20, 120),
+        accuracy_recommenders=("pop", "psvd10"),
+        scale=SCALE,
+        seed=0,
+    )
+
+
+def test_sample_size_sweep_produces_all_points(sweep_result):
+    points, table = sweep_result
+    assert len(points) == 4
+    assert len(table.rows) == 4
+    for point in points:
+        assert 0.0 <= point.f_measure <= 1.0
+        assert 0.0 <= point.coverage <= 1.0
+
+
+def test_sample_size_sweep_coverage_increases_with_s(sweep_result):
+    """The Figure 3 trend: larger S -> larger coverage, per accuracy model."""
+    points, _ = sweep_result
+    by_model: dict[str, dict[int, float]] = {}
+    for point in points:
+        by_model.setdefault(point.accuracy_recommender, {})[point.sample_size] = point.coverage
+    for coverages in by_model.values():
+        assert coverages[120] >= coverages[20] - 1e-9
+
+
+def test_figure3_and_figure4_wrappers_run():
+    points3, _ = run_figure3(sample_sizes=(20,), accuracy_recommenders=("pop",), scale=SCALE)
+    points4, _ = run_figure4(sample_sizes=(20,), accuracy_recommenders=("pop",), scale=SCALE)
+    assert len(points3) == 1 and len(points4) == 1
+
+
+@pytest.fixture(scope="module")
+def figure5_cells():
+    cells, table = run_figure5(
+        dataset_key="ml1m",
+        accuracy_recommenders=("pop",),
+        preference_models=("thetaT", "thetaG", "thetaR"),
+        n_values=(5,),
+        sample_size=60,
+        scale=SCALE,
+        seed=0,
+    )
+    return cells, table
+
+
+def test_figure5_produces_reference_and_variant_rows(figure5_cells):
+    cells, table = figure5_cells
+    preferences = {cell.preference for cell in cells}
+    assert "ARec" in preferences
+    assert {"thetaT", "thetaG", "thetaR"} <= preferences
+    assert len(table.rows) == len(cells)
+
+
+def test_figure5_arec_alone_has_best_accuracy_and_worst_coverage(figure5_cells):
+    cells, _ = figure5_cells
+    reference = next(c for c in cells if c.preference == "ARec")
+    variants = [c for c in cells if c.preference != "ARec"]
+    assert all(reference.report.f_measure >= c.report.f_measure - 1e-9 for c in variants)
+    assert all(reference.report.coverage <= c.report.coverage + 1e-9 for c in variants)
+
+
+def test_figure5_gap_helper(figure5_cells):
+    cells, _ = figure5_cells
+    gap = informed_vs_uninformed_gap(cells, metric="coverage")
+    assert isinstance(gap, float)
+    assert informed_vs_uninformed_gap([], metric="f_measure") == 0.0
+
+
+def test_oslg_vs_greedy_ablation_runs():
+    rows, table = run_oslg_vs_greedy(
+        dataset_key="ml100k", arec_name="pop", sample_sizes=(10, 40), scale=SCALE
+    )
+    assert len(rows) == 3  # exact + two sample sizes
+    labels = [row.configuration for row in rows]
+    assert labels[0].startswith("LocallyGreedy")
+    assert all(row.seconds >= 0 for row in rows)
+    # The exact pass covers at least as much of the item space as the most
+    # aggressive sampling configuration.
+    exact = rows[0].report.coverage
+    sampled = min(row.report.coverage for row in rows[1:])
+    assert exact >= sampled - 1e-9
+
+
+def test_ordering_ablation_runs():
+    rows, table = run_ordering_ablation(dataset_key="ml100k", arec_name="pop", scale=SCALE)
+    assert [row.configuration for row in rows] == ["increasing", "arbitrary", "decreasing"]
+    assert len(table.rows) == 3
+    for row in rows:
+        assert 0.0 <= row.report.coverage <= 1.0

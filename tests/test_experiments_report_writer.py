@@ -1,0 +1,49 @@
+"""Tests for the markdown report writer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report_writer import ReportConfig, generate_report, write_report
+
+
+@pytest.fixture(scope="module")
+def quick_config() -> ReportConfig:
+    return ReportConfig(
+        datasets=("ml100k",),
+        scale=0.2,
+        sample_size=50,
+        seed=0,
+        include_table4=False,
+        include_figure6=False,
+    )
+
+
+def test_generate_report_contains_descriptive_sections(quick_config):
+    text = generate_report(quick_config)
+    assert text.startswith("# GANC reproduction report")
+    assert "Table II" in text
+    assert "Figure 1" in text
+    assert "Figure 2" in text
+    assert "ML-100K" in text
+    assert quick_config.sections[:3] == ["table2", "figure1", "figure2"]
+
+
+def test_generate_report_with_comparisons_included():
+    config = ReportConfig(
+        datasets=("ml100k",), scale=0.2, sample_size=40, seed=0,
+        include_table4=True, include_figure6=True,
+    )
+    text = generate_report(config)
+    assert "Table IV" in text
+    assert "Figure 6" in text
+    assert "GANC(" in text
+    assert "legend:" in text or "coverage@5" in text
+
+
+def test_write_report_creates_file(tmp_path, quick_config):
+    path = write_report(tmp_path / "out" / "report.md", quick_config)
+    assert path.exists()
+    content = path.read_text()
+    assert content.startswith("# GANC reproduction report")
+    assert content.endswith("\n")

@@ -1,0 +1,208 @@
+"""Tests for the GANC facade (fit / recommend_all / template)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coverage.dynamic import DynamicCoverage
+from repro.coverage.random import RandomCoverage
+from repro.coverage.static import StaticCoverage
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.ganc.framework import GANC, GANCConfig
+from repro.metrics.coverage import coverage_at_n
+from repro.preferences.generalized import GeneralizedPreference
+from repro.preferences.simple import ConstantPreference, TfidfPreference
+from repro.recommenders.popularity import MostPopular
+from repro.recommenders.puresvd import PureSVD
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        GANCConfig(sample_size=0)
+    with pytest.raises(ConfigurationError):
+        GANCConfig(optimizer="bogus")  # type: ignore[arg-type]
+    with pytest.raises(ConfigurationError):
+        GANCConfig(theta_order="sideways")  # type: ignore[arg-type]
+
+
+def test_unfitted_ganc_raises(small_split):
+    model = GANC(MostPopular(), ConstantPreference(0.5), StaticCoverage())
+    with pytest.raises(NotFittedError):
+        model.recommend_all(5)
+    with pytest.raises(NotFittedError):
+        _ = model.theta
+
+
+def test_template_string(small_split):
+    model = GANC(MostPopular(), GeneralizedPreference(), DynamicCoverage())
+    assert model.template == "GANC(MostPopular, generalized, Dyn)"
+
+
+def test_fit_estimates_theta_from_model(small_split):
+    model = GANC(MostPopular(), TfidfPreference(), StaticCoverage())
+    model.fit(small_split.train)
+    assert model.is_fitted
+    assert model.theta.shape == (small_split.train.n_users,)
+    assert model.theta.min() >= 0.0 and model.theta.max() <= 1.0
+
+
+def test_fit_accepts_precomputed_theta(small_split):
+    theta = np.full(small_split.train.n_users, 0.3)
+    model = GANC(MostPopular(), theta, StaticCoverage())
+    model.fit(small_split.train)
+    np.testing.assert_allclose(model.theta, 0.3)
+
+
+def test_fit_rejects_wrong_length_theta(small_split):
+    model = GANC(MostPopular(), np.array([0.5, 0.5]), StaticCoverage())
+    with pytest.raises(ConfigurationError):
+        model.fit(small_split.train)
+
+
+def test_fit_rejects_out_of_range_theta(small_split):
+    theta = np.full(small_split.train.n_users, 1.5)
+    model = GANC(MostPopular(), theta, StaticCoverage())
+    with pytest.raises(ConfigurationError):
+        model.fit(small_split.train)
+
+
+def test_recommend_all_shapes_and_exclusions(small_split):
+    model = GANC(
+        MostPopular(),
+        GeneralizedPreference(),
+        DynamicCoverage(),
+        config=GANCConfig(sample_size=20, seed=0),
+    )
+    model.fit(small_split.train)
+    top = model.recommend_all(5)
+    assert top.items.shape == (small_split.train.n_users, 5)
+    for user in range(top.n_users):
+        row = top.for_user(user)
+        assert len(set(row.tolist())) == row.size == 5
+        seen = set(small_split.train.user_items(user).tolist())
+        assert seen.isdisjoint(set(row.tolist()))
+
+
+def test_theta_zero_reduces_to_accuracy_recommender(small_split):
+    arec = PureSVD(n_factors=8)
+    theta = np.zeros(small_split.train.n_users)
+    model = GANC(arec, theta, DynamicCoverage(), config=GANCConfig(optimizer="locally_greedy"))
+    model.fit(small_split.train)
+    ganc_top = model.recommend_all(5)
+    base_top = arec.recommend_all(5)
+    agreements = sum(
+        set(ganc_top.for_user(u).tolist()) == set(base_top.for_user(u).tolist())
+        for u in range(base_top.n_users)
+    )
+    # θ = 0 zeroes the coverage term, so the sets must coincide for everyone.
+    assert agreements == base_top.n_users
+
+
+def test_theta_one_maximizes_coverage(small_split):
+    arec = MostPopular()
+    n_users = small_split.train.n_users
+    pure_coverage = GANC(
+        arec,
+        np.ones(n_users),
+        DynamicCoverage(),
+        config=GANCConfig(optimizer="locally_greedy"),
+    )
+    pure_accuracy = GANC(
+        arec,
+        np.zeros(n_users),
+        DynamicCoverage(),
+        config=GANCConfig(optimizer="locally_greedy"),
+    )
+    pure_coverage.fit(small_split.train)
+    pure_accuracy.fit(small_split.train)
+    cov_high = coverage_at_n(pure_coverage.recommend_all(5).as_dict(), small_split.train.n_items)
+    cov_low = coverage_at_n(pure_accuracy.recommend_all(5).as_dict(), small_split.train.n_items)
+    assert cov_high > cov_low
+
+
+def test_increasing_theta_increases_coverage_monotonically(small_split):
+    coverages = []
+    for constant in (0.0, 0.5, 1.0):
+        model = GANC(
+            MostPopular(),
+            np.full(small_split.train.n_users, constant),
+            DynamicCoverage(),
+            config=GANCConfig(optimizer="locally_greedy"),
+        )
+        model.fit(small_split.train)
+        coverages.append(
+            coverage_at_n(model.recommend_all(5).as_dict(), small_split.train.n_items)
+        )
+    assert coverages[0] <= coverages[1] <= coverages[2]
+
+
+def test_auto_optimizer_selects_oslg_for_large_user_counts(medium_split):
+    model = GANC(
+        MostPopular(),
+        GeneralizedPreference(),
+        DynamicCoverage(),
+        config=GANCConfig(sample_size=30, optimizer="auto", seed=0),
+    )
+    model.fit(medium_split.train)
+    model.recommend_all(5)
+    assert model.last_oslg_result_ is not None
+    assert model.last_oslg_result_.sampled_users.size == 30
+
+
+def test_auto_optimizer_uses_exact_pass_for_small_user_counts(tiny_dataset):
+    model = GANC(
+        MostPopular(),
+        np.array([0.2, 0.4, 0.6, 0.8]),
+        DynamicCoverage(),
+        config=GANCConfig(sample_size=500, optimizer="auto"),
+    )
+    model.fit(tiny_dataset)
+    model.recommend_all(2)
+    assert model.last_oslg_result_ is None
+
+
+def test_static_and_random_coverage_paths(small_split):
+    for coverage in (StaticCoverage(), RandomCoverage(seed=0)):
+        model = GANC(MostPopular(), ConstantPreference(0.5), coverage)
+        model.fit(small_split.train)
+        top = model.recommend_all(5)
+        assert top.items.shape == (small_split.train.n_users, 5)
+
+
+def test_recommend_single_user(small_split):
+    model = GANC(MostPopular(), ConstantPreference(0.3), StaticCoverage())
+    model.fit(small_split.train)
+    recs = model.recommend(0, 5)
+    assert recs.size == 5
+    seen = set(small_split.train.user_items(0).tolist())
+    assert seen.isdisjoint(set(recs.tolist()))
+
+
+def test_value_function_inspection(small_split):
+    model = GANC(MostPopular(), ConstantPreference(0.4), StaticCoverage())
+    model.fit(small_split.train)
+    vf = model.value_function(0, 5)
+    assert vf.theta == pytest.approx(0.4)
+    assert vf.accuracy_scores.shape == (small_split.train.n_items,)
+
+
+def test_recommend_all_rejects_bad_n(small_split):
+    model = GANC(MostPopular(), ConstantPreference(0.4), StaticCoverage())
+    model.fit(small_split.train)
+    with pytest.raises(ConfigurationError):
+        model.recommend_all(0)
+
+
+def test_recommend_all_is_deterministic(medium_split):
+    def build():
+        model = GANC(
+            MostPopular(),
+            GeneralizedPreference(),
+            DynamicCoverage(),
+            config=GANCConfig(sample_size=25, seed=11),
+        )
+        model.fit(medium_split.train)
+        return model.recommend_all(5)
+
+    np.testing.assert_array_equal(build().items, build().items)

@@ -1,0 +1,95 @@
+"""Tests for the Gaussian KDE used by OSLG sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.ganc.kde import GaussianKDE
+
+
+def test_kde_requires_data():
+    with pytest.raises(ConfigurationError):
+        GaussianKDE(np.array([]))
+
+
+def test_kde_bandwidth_rules():
+    data = np.random.default_rng(0).normal(0.5, 0.1, size=200)
+    scott = GaussianKDE(data, bandwidth="scott")
+    silverman = GaussianKDE(data, bandwidth="silverman")
+    assert scott.bandwidth > 0
+    assert silverman.bandwidth > 0
+    assert silverman.bandwidth < scott.bandwidth  # 0.9 factor
+
+
+def test_kde_explicit_bandwidth():
+    kde = GaussianKDE(np.array([0.5]), bandwidth=0.2)
+    assert kde.bandwidth == pytest.approx(0.2)
+    with pytest.raises(ConfigurationError):
+        GaussianKDE(np.array([0.5]), bandwidth=0.0)
+    with pytest.raises(ConfigurationError):
+        GaussianKDE(np.array([0.5]), bandwidth="unknown-rule")
+
+
+def test_kde_density_peaks_near_data_mass():
+    rng = np.random.default_rng(1)
+    data = np.concatenate([rng.normal(0.2, 0.03, 300), rng.normal(0.8, 0.03, 100)])
+    kde = GaussianKDE(np.clip(data, 0, 1))
+    dense = kde.evaluate(np.array([0.2]))[0]
+    sparse = kde.evaluate(np.array([0.5]))[0]
+    assert dense > sparse
+    # The 0.2 cluster has 3x the mass of the 0.8 cluster.
+    assert kde.evaluate(np.array([0.2]))[0] > kde.evaluate(np.array([0.8]))[0]
+
+
+def test_kde_density_integrates_to_about_one():
+    data = np.random.default_rng(2).beta(2, 5, size=500)
+    kde = GaussianKDE(data)
+    grid = np.linspace(-0.5, 1.5, 2001)
+    densities = kde.evaluate(grid)
+    integral = np.trapezoid(densities, grid)
+    assert integral == pytest.approx(1.0, abs=0.02)
+
+
+def test_kde_callable_alias():
+    kde = GaussianKDE(np.array([0.3, 0.7]))
+    np.testing.assert_allclose(kde(np.array([0.5])), kde.evaluate(np.array([0.5])))
+
+
+def test_kde_handles_constant_data():
+    kde = GaussianKDE(np.full(50, 0.4))
+    assert np.isfinite(kde.evaluate(np.array([0.4]))[0])
+    samples = kde.sample(20, seed=0)
+    assert np.all((samples >= 0.0) & (samples <= 1.0))
+    assert np.abs(samples - 0.4).max() < 0.2
+
+
+def test_kde_sampling_is_deterministic_and_clipped():
+    data = np.random.default_rng(3).beta(2, 2, size=300)
+    kde = GaussianKDE(data)
+    a = kde.sample(50, seed=9)
+    b = kde.sample(50, seed=9)
+    np.testing.assert_allclose(a, b)
+    assert a.min() >= 0.0 and a.max() <= 1.0
+
+
+def test_kde_sampling_matches_distribution_mean():
+    rng = np.random.default_rng(4)
+    data = rng.beta(2, 6, size=1000)
+    kde = GaussianKDE(data)
+    samples = kde.sample(2000, seed=1)
+    assert abs(samples.mean() - data.mean()) < 0.05
+
+
+def test_kde_sample_rejects_negative_size():
+    kde = GaussianKDE(np.array([0.5]))
+    with pytest.raises(ConfigurationError):
+        kde.sample(-1)
+    assert kde.sample(0).size == 0
+
+
+def test_kde_sample_without_clipping():
+    kde = GaussianKDE(np.array([0.0, 1.0]), bandwidth=0.5)
+    samples = kde.sample(500, seed=0, clip=None)
+    assert samples.min() < 0.0 or samples.max() > 1.0

@@ -1,0 +1,103 @@
+"""Tests for the GANC user value function (Eq. III.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.ganc.value_function import UserValueFunction, combined_item_scores
+
+
+def test_combined_scores_interpolate_between_components():
+    acc = np.array([1.0, 0.0, 0.5])
+    cov = np.array([0.0, 1.0, 0.5])
+    np.testing.assert_allclose(combined_item_scores(acc, cov, 0.0), acc)
+    np.testing.assert_allclose(combined_item_scores(acc, cov, 1.0), cov)
+    np.testing.assert_allclose(combined_item_scores(acc, cov, 0.5), [0.5, 0.5, 0.5])
+
+
+def test_combined_scores_validation():
+    with pytest.raises(ConfigurationError):
+        combined_item_scores(np.array([1.0]), np.array([1.0]), 1.5)
+    with pytest.raises(ConfigurationError):
+        combined_item_scores(np.array([1.0, 2.0]), np.array([1.0]), 0.5)
+
+
+def test_value_function_value_of_is_additive():
+    vf = UserValueFunction(
+        theta=0.3,
+        accuracy_scores=np.array([0.9, 0.1, 0.5, 0.0]),
+        coverage_scores=np.array([0.2, 1.0, 0.5, 0.3]),
+    )
+    v_single = vf.value_of(np.array([0])) + vf.value_of(np.array([1]))
+    v_pair = vf.value_of(np.array([0, 1]))
+    assert v_pair == pytest.approx(v_single)
+    assert vf.value_of(np.array([], dtype=int)) == 0.0
+
+
+def test_value_function_matches_formula():
+    vf = UserValueFunction(
+        theta=0.25,
+        accuracy_scores=np.array([0.8, 0.2]),
+        coverage_scores=np.array([0.1, 0.9]),
+    )
+    expected = 0.75 * (0.8 + 0.2) + 0.25 * (0.1 + 0.9)
+    assert vf.value_of(np.array([0, 1])) == pytest.approx(expected)
+
+
+def test_greedy_top_n_selects_best_combined_items():
+    vf = UserValueFunction(
+        theta=0.5,
+        accuracy_scores=np.array([1.0, 0.0, 0.6, 0.2]),
+        coverage_scores=np.array([0.0, 1.0, 0.6, 0.1]),
+    )
+    top = vf.greedy_top_n(2)
+    # Items 0, 1 and 2 all have combined score around 0.5/0.6; item 2 wins (0.6)
+    # and the tie between 0 and 1 resolves to the lower index.
+    assert top[0] == 2
+    assert top[1] in (0, 1)
+
+
+def test_greedy_top_n_is_optimal_for_additive_scores():
+    rng = np.random.default_rng(0)
+    acc = rng.random(12)
+    cov = rng.random(12)
+    theta = 0.4
+    vf = UserValueFunction(theta=theta, accuracy_scores=acc, coverage_scores=cov)
+    greedy = vf.greedy_top_n(4)
+    from itertools import combinations
+
+    best = max(
+        (vf.value_of(np.array(combo)) for combo in combinations(range(12), 4))
+    )
+    assert vf.value_of(greedy) == pytest.approx(best)
+
+
+def test_greedy_top_n_respects_exclusions():
+    vf = UserValueFunction(
+        theta=0.0,
+        accuracy_scores=np.array([1.0, 0.9, 0.8, 0.7]),
+        coverage_scores=np.zeros(4),
+    )
+    top = vf.greedy_top_n(2, exclude=np.array([0, 1]))
+    assert set(top.tolist()) == {2, 3}
+
+
+def test_greedy_top_n_with_all_items_excluded_returns_empty():
+    vf = UserValueFunction(
+        theta=0.0,
+        accuracy_scores=np.array([1.0, 0.5]),
+        coverage_scores=np.zeros(2),
+    )
+    assert vf.greedy_top_n(2, exclude=np.array([0, 1])).size == 0
+
+
+def test_value_function_validation():
+    with pytest.raises(ConfigurationError):
+        UserValueFunction(theta=1.5, accuracy_scores=np.zeros(2), coverage_scores=np.zeros(2))
+    with pytest.raises(ConfigurationError):
+        UserValueFunction(theta=0.5, accuracy_scores=np.zeros(2), coverage_scores=np.zeros(3))
+    vf = UserValueFunction(theta=0.5, accuracy_scores=np.zeros(2), coverage_scores=np.zeros(2))
+    with pytest.raises(ConfigurationError):
+        vf.greedy_top_n(0)

@@ -1,0 +1,148 @@
+"""End-to-end integration tests across the whole pipeline.
+
+These tests run the complete chain — synthetic data generation, splitting,
+preference estimation, base recommender training, GANC optimization, baseline
+re-ranking and metric computation — and assert the paper's qualitative
+relationships between the pieces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    GANC,
+    GANCConfig,
+    DynamicCoverage,
+    Evaluator,
+    GeneralizedPreference,
+    MostPopular,
+    PureSVD,
+    RandomRecommender,
+    TfidfPreference,
+    make_dataset,
+    split_ratings,
+)
+from repro.rerankers import PersonalizedRankingAdaptation, RankingBasedTechnique
+from repro.recommenders.rsvd import RSVD
+
+
+@pytest.fixture(scope="module")
+def pipeline_split():
+    data = make_dataset("ml100k", scale=0.4)
+    return split_ratings(data, train_ratio=0.5, seed=0)
+
+
+@pytest.fixture(scope="module")
+def evaluator(pipeline_split):
+    return Evaluator(pipeline_split, n=5)
+
+
+@pytest.fixture(scope="module")
+def ganc_run(pipeline_split, evaluator):
+    model = GANC(
+        PureSVD(n_factors=20),
+        GeneralizedPreference(),
+        DynamicCoverage(),
+        config=GANCConfig(sample_size=80, seed=0),
+    )
+    model.fit(pipeline_split.train)
+    return evaluator.evaluate_recommendations(model.recommend_all(5), algorithm=model.template)
+
+
+@pytest.fixture(scope="module")
+def arec_run(pipeline_split, evaluator):
+    return evaluator.evaluate_recommender(PureSVD(n_factors=20), algorithm="PSVD")
+
+
+def test_public_api_quickstart_path(pipeline_split):
+    """The README quickstart must work as written."""
+    model = GANC(
+        PureSVD(n_factors=10),
+        TfidfPreference(),
+        DynamicCoverage(),
+        config=GANCConfig(sample_size=40, seed=0),
+    )
+    top5 = model.fit(pipeline_split.train).recommend_all(5)
+    assert top5.items.shape == (pipeline_split.train.n_users, 5)
+
+
+def test_ganc_trades_accuracy_for_coverage(ganc_run, arec_run):
+    """The paper's central trade-off: GANC gives up some accuracy for a large
+    coverage and novelty gain over its accuracy recommender."""
+    assert ganc_run.report.coverage > 2 * arec_run.report.coverage or (
+        ganc_run.report.coverage > 0.8
+    )
+    assert ganc_run.report.gini < arec_run.report.gini
+    assert ganc_run.report.lt_accuracy >= arec_run.report.lt_accuracy
+    # Accuracy is reduced but not annihilated.
+    assert ganc_run.report.f_measure > 0.0
+
+
+def test_ganc_beats_random_on_accuracy(ganc_run, evaluator):
+    rand = evaluator.evaluate_recommender(RandomRecommender(seed=0), algorithm="Rand")
+    assert ganc_run.report.f_measure > rand.report.f_measure
+
+
+def test_popularity_is_accurate_but_narrow(evaluator, ganc_run):
+    pop = evaluator.evaluate_recommender(MostPopular(), algorithm="Pop")
+    assert pop.report.f_measure > 0.0
+    assert pop.report.coverage < ganc_run.report.coverage
+    assert pop.report.lt_accuracy <= ganc_run.report.lt_accuracy
+
+
+def test_rerankers_compose_with_trained_rsvd(pipeline_split, evaluator):
+    base = RSVD(n_factors=12, n_epochs=25, learning_rate=0.02, seed=0).fit(pipeline_split.train)
+    base_run = evaluator.evaluate_recommender(base, algorithm="RSVD", fit=False)
+
+    rbt = RankingBasedTechnique(base, criterion="pop", ranking_threshold=4.0, popularity_floor=0)
+    rbt.fit(pipeline_split.train)
+    rbt_run = evaluator.evaluate_recommendations(rbt.recommend_all(5), algorithm=rbt.name)
+
+    pra = PersonalizedRankingAdaptation(base, exchangeable_size=10, seed=0)
+    pra.fit(pipeline_split.train)
+    pra_run = evaluator.evaluate_recommendations(pra.recommend_all(5), algorithm=pra.name)
+
+    for run in (base_run, rbt_run, pra_run):
+        assert 0.0 <= run.report.f_measure <= 1.0
+        assert 0.0 < run.report.coverage <= 1.0
+    # Re-ranking never increases accuracy above the base by construction and
+    # the adapted lists remain valid top-N sets.
+    assert rbt_run.report.f_measure <= base_run.report.f_measure + 1e-6
+    assert pra_run.report.f_measure <= base_run.report.f_measure + 1e-6
+
+
+def test_theta_distribution_feeds_oslg_sampling(pipeline_split):
+    theta = GeneralizedPreference().estimate(pipeline_split.train)
+    model = GANC(
+        MostPopular(),
+        theta,
+        DynamicCoverage(),
+        config=GANCConfig(sample_size=50, seed=0),
+    )
+    model.fit(pipeline_split.train)
+    model.recommend_all(5)
+    result = model.last_oslg_result_
+    assert result is not None
+    sampled_theta = theta.theta[result.sampled_users]
+    # The sample's preference range reflects the population's range.
+    assert sampled_theta.min() <= np.percentile(theta.theta, 25)
+    assert sampled_theta.max() >= np.percentile(theta.theta, 75)
+
+
+def test_full_metric_reports_are_reproducible(pipeline_split, evaluator):
+    def run_once() -> tuple:
+        model = GANC(
+            MostPopular(),
+            GeneralizedPreference(),
+            DynamicCoverage(),
+            config=GANCConfig(sample_size=40, seed=123),
+        )
+        model.fit(pipeline_split.train)
+        report = evaluator.evaluate_recommendations(
+            model.recommend_all(5), algorithm="GANC"
+        ).report
+        return (report.f_measure, report.coverage, report.gini, report.lt_accuracy)
+
+    assert run_once() == run_once()

@@ -1,0 +1,111 @@
+"""Tests for the ranking accuracy and error metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EvaluationError
+from repro.metrics.accuracy import (
+    f_measure_at_n,
+    mae,
+    ndcg_at_n,
+    precision_at_n,
+    recall_at_n,
+    rmse,
+)
+
+
+@pytest.fixture()
+def simple_case():
+    recommendations = {
+        0: np.array([1, 2, 3, 4, 5]),
+        1: np.array([10, 11, 12, 13, 14]),
+        2: np.array([20, 21, 22, 23, 24]),
+    }
+    relevant = {
+        0: np.array([1, 2]),        # 2 hits out of 2 relevant
+        1: np.array([10, 99, 98]),  # 1 hit out of 3 relevant
+        2: np.array([], dtype=int), # skipped (no relevant items)
+    }
+    return recommendations, relevant
+
+
+def test_precision_at_n(simple_case):
+    recommendations, relevant = simple_case
+    expected = ((2 / 5) + (1 / 5)) / 2
+    assert precision_at_n(recommendations, relevant, 5) == pytest.approx(expected)
+
+
+def test_recall_at_n(simple_case):
+    recommendations, relevant = simple_case
+    expected = ((2 / 2) + (1 / 3)) / 2
+    assert recall_at_n(recommendations, relevant, 5) == pytest.approx(expected)
+
+
+def test_f_measure_is_harmonic_style_combination(simple_case):
+    recommendations, relevant = simple_case
+    p = precision_at_n(recommendations, relevant, 5)
+    r = recall_at_n(recommendations, relevant, 5)
+    assert f_measure_at_n(recommendations, relevant, 5) == pytest.approx(p * r / (p + r))
+
+
+def test_f_measure_zero_when_no_hits():
+    recs = {0: np.array([1, 2])}
+    relevant = {0: np.array([9])}
+    assert f_measure_at_n(recs, relevant, 2) == 0.0
+
+
+def test_metrics_with_no_relevant_users_are_zero():
+    recs = {0: np.array([1, 2])}
+    relevant = {0: np.array([], dtype=int)}
+    assert precision_at_n(recs, relevant, 2) == 0.0
+    assert recall_at_n(recs, relevant, 2) == 0.0
+
+
+def test_perfect_recommendations():
+    recs = {0: np.array([1, 2, 3])}
+    relevant = {0: np.array([1, 2, 3])}
+    assert precision_at_n(recs, relevant, 3) == pytest.approx(1.0)
+    assert recall_at_n(recs, relevant, 3) == pytest.approx(1.0)
+    assert ndcg_at_n(recs, relevant, 3) == pytest.approx(1.0)
+
+
+def test_metrics_reject_bad_n(simple_case):
+    recommendations, relevant = simple_case
+    with pytest.raises(EvaluationError):
+        precision_at_n(recommendations, relevant, 0)
+    with pytest.raises(EvaluationError):
+        recall_at_n(recommendations, relevant, 0)
+    with pytest.raises(EvaluationError):
+        ndcg_at_n(recommendations, relevant, 0)
+
+
+def test_precision_handles_missing_users(simple_case):
+    _, relevant = simple_case
+    # A user with relevant items but no recommendations contributes 0.
+    value = precision_at_n({}, relevant, 5)
+    assert value == 0.0
+
+
+def test_ndcg_rank_position_matters():
+    relevant = {0: np.array([7])}
+    early = {0: np.array([7, 1, 2])}
+    late = {0: np.array([1, 2, 7])}
+    assert ndcg_at_n(early, relevant, 3) > ndcg_at_n(late, relevant, 3)
+
+
+def test_rmse_and_mae_basic():
+    preds = np.array([3.0, 4.0, 5.0])
+    truth = np.array([3.0, 3.0, 3.0])
+    assert rmse(preds, truth) == pytest.approx(np.sqrt((0 + 1 + 4) / 3))
+    assert mae(preds, truth) == pytest.approx(1.0)
+
+
+def test_rmse_mae_validation():
+    with pytest.raises(EvaluationError):
+        rmse(np.array([1.0]), np.array([1.0, 2.0]))
+    with pytest.raises(EvaluationError):
+        mae(np.array([1.0]), np.array([1.0, 2.0]))
+    assert np.isnan(rmse(np.array([]), np.array([])))
+    assert np.isnan(mae(np.array([]), np.array([])))

@@ -1,0 +1,106 @@
+"""Tests for the beyond-accuracy metrics (EPC, ARP, personalization, ILD)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EvaluationError
+from repro.metrics.beyond import (
+    average_recommendation_popularity,
+    expected_popularity_complement,
+    intra_list_dissimilarity,
+    personalization,
+)
+from repro.recommenders.popularity import MostPopular
+from repro.recommenders.random import RandomRecommender
+
+
+def test_epc_is_zero_for_the_most_popular_item_only():
+    popularity = np.array([100, 10, 1])
+    recs = {0: np.array([0])}
+    assert expected_popularity_complement(recs, popularity) == pytest.approx(0.0)
+
+
+def test_epc_increases_for_rare_items():
+    popularity = np.array([100, 10, 1])
+    rare = {0: np.array([2])}
+    mid = {0: np.array([1])}
+    assert expected_popularity_complement(rare, popularity) > expected_popularity_complement(
+        mid, popularity
+    )
+
+
+def test_epc_rejects_empty_popularity():
+    with pytest.raises(EvaluationError):
+        expected_popularity_complement({0: np.array([0])}, np.array([]))
+
+
+def test_epc_empty_recommendations_is_zero():
+    assert expected_popularity_complement({}, np.array([5, 3])) == 0.0
+
+
+def test_arp_is_the_mean_popularity():
+    popularity = np.array([100, 10, 4])
+    recs = {0: np.array([0, 1]), 1: np.array([2, 2])}
+    expected = (100 + 10 + 4 + 4) / 4
+    assert average_recommendation_popularity(recs, popularity) == pytest.approx(expected)
+
+
+def test_arp_empty_is_zero():
+    assert average_recommendation_popularity({}, np.array([1.0])) == 0.0
+
+
+def test_personalization_zero_for_identical_lists():
+    recs = {u: np.array([1, 2, 3]) for u in range(5)}
+    assert personalization(recs) == pytest.approx(0.0)
+
+
+def test_personalization_one_for_disjoint_lists():
+    recs = {u: np.array([3 * u, 3 * u + 1, 3 * u + 2]) for u in range(4)}
+    assert personalization(recs) == pytest.approx(1.0)
+
+
+def test_personalization_intermediate_for_overlap():
+    recs = {0: np.array([1, 2, 3]), 1: np.array([1, 2, 4])}
+    value = personalization(recs)
+    assert 0.0 < value < 1.0
+
+
+def test_personalization_fewer_than_two_users_is_zero():
+    assert personalization({0: np.array([1, 2])}) == 0.0
+
+
+def test_personalization_sampling_is_deterministic():
+    rng = np.random.default_rng(0)
+    recs = {u: rng.choice(100, size=5, replace=False) for u in range(60)}
+    a = personalization(recs, max_pairs=100, seed=1)
+    b = personalization(recs, max_pairs=100, seed=1)
+    assert a == b
+
+
+def test_pop_is_less_personalized_than_random(small_split):
+    pop = MostPopular().fit(small_split.train).recommend_all(5).as_dict()
+    rand = RandomRecommender(seed=0).fit(small_split.train).recommend_all(5).as_dict()
+    assert personalization(pop) < personalization(rand)
+
+
+def test_intra_list_dissimilarity_bounds(small_split, tiny_dataset):
+    recs = MostPopular().fit(small_split.train).recommend_all(5).as_dict()
+    value = intra_list_dissimilarity(recs, small_split.train)
+    assert 0.0 <= value <= 1.0
+
+
+def test_intra_list_dissimilarity_single_item_lists_are_skipped(tiny_dataset):
+    recs = {0: np.array([1]), 1: np.array([2])}
+    assert intra_list_dissimilarity(recs, tiny_dataset) == 0.0
+
+
+def test_intra_list_dissimilarity_higher_for_unrelated_items(tiny_dataset):
+    # Items 1 and 2 are co-rated by user 0 only; items 4 and 5 are both rated
+    # only by user 3 (perfectly co-rated); {4, 5} should look more similar.
+    related = {0: np.array([4, 5])}
+    unrelated = {0: np.array([1, 3])}
+    assert intra_list_dissimilarity(unrelated, tiny_dataset) >= intra_list_dissimilarity(
+        related, tiny_dataset
+    )

@@ -1,0 +1,70 @@
+"""Tests for the coverage metrics (Coverage@N and Gini@N)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EvaluationError
+from repro.metrics.coverage import coverage_at_n, gini_at_n, recommendation_frequencies
+
+
+def test_recommendation_frequencies_counts_occurrences():
+    recs = {0: np.array([0, 1]), 1: np.array([1, 2]), 2: np.array([1])}
+    np.testing.assert_array_equal(recommendation_frequencies(recs, 4), [1, 3, 1, 0])
+
+
+def test_recommendation_frequencies_rejects_bad_n_items():
+    with pytest.raises(EvaluationError):
+        recommendation_frequencies({}, 0)
+
+
+def test_coverage_fraction_of_distinct_items():
+    recs = {0: np.array([0, 1]), 1: np.array([1, 2])}
+    assert coverage_at_n(recs, 4) == pytest.approx(3 / 4)
+
+
+def test_coverage_is_one_when_every_item_recommended():
+    recs = {0: np.array([0, 1]), 1: np.array([2, 3])}
+    assert coverage_at_n(recs, 4) == pytest.approx(1.0)
+
+
+def test_coverage_zero_without_recommendations():
+    assert coverage_at_n({}, 10) == 0.0
+
+
+def test_gini_zero_for_perfectly_uniform_frequencies():
+    recs = {u: np.array([u]) for u in range(6)}
+    assert gini_at_n(recs, 6) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_gini_close_to_one_for_degenerate_distribution():
+    recs = {u: np.array([0]) for u in range(100)}
+    value = gini_at_n(recs, 200)
+    assert value > 0.99
+
+
+def test_gini_is_one_when_nothing_recommended():
+    assert gini_at_n({}, 10) == 1.0
+
+
+def test_gini_orders_concentration_levels():
+    spread = {u: np.array([u % 10]) for u in range(20)}
+    concentrated = {u: np.array([u % 2]) for u in range(20)}
+    assert gini_at_n(concentrated, 10) > gini_at_n(spread, 10)
+
+
+def test_gini_in_unit_interval_for_random_frequencies(rng):
+    recs = {u: rng.choice(50, size=5, replace=False) for u in range(30)}
+    value = gini_at_n(recs, 50)
+    assert 0.0 <= value <= 1.0
+
+
+def test_gini_matches_closed_form_small_example():
+    # Frequencies: [0, 1, 3] over 3 items.
+    recs = {0: np.array([1, 2]), 1: np.array([2]), 2: np.array([2])}
+    freq_sorted = np.array([0.0, 1.0, 3.0])
+    total = freq_sorted.sum()
+    j = np.arange(1, 4)
+    expected = (3 + 1 - 2 * ((3 + 1 - j) * freq_sorted).sum() / total) / 3
+    assert gini_at_n(recs, 3) == pytest.approx(expected)

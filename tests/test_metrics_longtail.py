@@ -1,0 +1,88 @@
+"""Tests for the long-tail promotion metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EvaluationError
+from repro.metrics.longtail import lt_accuracy_at_n, stratified_recall_at_n
+
+
+def test_lt_accuracy_counts_tail_fraction():
+    mask = np.array([False, False, True, True, True])
+    recs = {0: np.array([0, 2, 3]), 1: np.array([0, 1, 4])}
+    # User 0: 2/3 tail items (over n=3); user 1: 1/3.
+    assert lt_accuracy_at_n(recs, mask, 3) == pytest.approx((2 / 3 + 1 / 3) / 2)
+
+
+def test_lt_accuracy_zero_when_only_head_items():
+    mask = np.array([False, False, True])
+    recs = {0: np.array([0, 1])}
+    assert lt_accuracy_at_n(recs, mask, 2) == 0.0
+
+
+def test_lt_accuracy_one_when_only_tail_items():
+    mask = np.array([True, True, True])
+    recs = {0: np.array([0, 1, 2])}
+    assert lt_accuracy_at_n(recs, mask, 3) == pytest.approx(1.0)
+
+
+def test_lt_accuracy_handles_empty_recommendations():
+    mask = np.array([True, False])
+    assert lt_accuracy_at_n({0: np.array([], dtype=int)}, mask, 5) == 0.0
+
+
+def test_lt_accuracy_rejects_bad_n():
+    with pytest.raises(EvaluationError):
+        lt_accuracy_at_n({}, np.array([True]), 0)
+
+
+def test_stratified_recall_weights_rare_hits_more():
+    popularity = np.array([100, 1, 100, 1])
+    relevant = {0: np.array([0, 1])}
+    hit_popular = {0: np.array([0, 9, 9])}
+    hit_rare = {0: np.array([1, 9, 9])}
+    assert stratified_recall_at_n(hit_rare, relevant, popularity) > stratified_recall_at_n(
+        hit_popular, relevant, popularity
+    )
+
+
+def test_stratified_recall_is_one_for_perfect_retrieval():
+    popularity = np.array([5, 50, 500])
+    relevant = {0: np.array([0, 1]), 1: np.array([2])}
+    recs = {0: np.array([0, 1]), 1: np.array([2])}
+    assert stratified_recall_at_n(recs, relevant, popularity) == pytest.approx(1.0)
+
+
+def test_stratified_recall_is_zero_without_hits():
+    popularity = np.array([5, 50])
+    relevant = {0: np.array([0])}
+    recs = {0: np.array([1])}
+    assert stratified_recall_at_n(recs, relevant, popularity) == 0.0
+
+
+def test_stratified_recall_beta_zero_reduces_to_plain_recall_aggregate():
+    popularity = np.array([100, 1, 10])
+    relevant = {0: np.array([0, 1]), 1: np.array([2])}
+    recs = {0: np.array([0]), 1: np.array([2])}
+    # With beta=0 every relevant item has weight 1 -> 2 hits / 3 relevant.
+    assert stratified_recall_at_n(recs, relevant, popularity, beta=0.0) == pytest.approx(2 / 3)
+
+
+def test_stratified_recall_handles_zero_popularity_items():
+    popularity = np.array([0, 10])
+    relevant = {0: np.array([0])}
+    recs = {0: np.array([0])}
+    value = stratified_recall_at_n(recs, relevant, popularity)
+    assert np.isfinite(value)
+    assert value == pytest.approx(1.0)
+
+
+def test_stratified_recall_rejects_negative_beta():
+    with pytest.raises(EvaluationError):
+        stratified_recall_at_n({}, {}, np.array([1.0]), beta=-0.5)
+
+
+def test_stratified_recall_empty_relevance_is_zero():
+    assert stratified_recall_at_n({}, {0: np.array([], dtype=int)}, np.array([1.0])) == 0.0

@@ -1,0 +1,89 @@
+"""Tests for relevant-item extraction and the aggregated metric report."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import RatingDataset
+from repro.data.split import RatioSplitter
+from repro.exceptions import EvaluationError
+from repro.metrics.report import MetricReport, evaluate_top_n, relevant_test_items
+from repro.recommenders.popularity import MostPopular
+
+
+def test_relevant_test_items_thresholding(tiny_dataset):
+    split = RatioSplitter(0.6, seed=0).split(tiny_dataset)
+    relevant = relevant_test_items(split.test, relevance_threshold=4.0)
+    assert set(relevant) == set(range(tiny_dataset.n_users))
+    for user, items in relevant.items():
+        test_items, test_ratings = split.test.user_ratings(user)
+        expected = set(test_items[test_ratings >= 4.0].tolist())
+        assert set(items.tolist()) == expected
+
+
+def test_relevant_test_items_lower_threshold_is_superset(small_split):
+    strict = relevant_test_items(small_split.test, relevance_threshold=4.5)
+    relaxed = relevant_test_items(small_split.test, relevance_threshold=3.0)
+    for user in strict:
+        assert set(strict[user].tolist()) <= set(relaxed[user].tolist())
+
+
+def test_evaluate_top_n_produces_full_report(small_split):
+    model = MostPopular().fit(small_split.train)
+    recs = model.recommend_all(5).as_dict()
+    report = evaluate_top_n(
+        recs, small_split.train, small_split.test, 5, algorithm="Pop", include_ndcg=True
+    )
+    assert isinstance(report, MetricReport)
+    assert report.algorithm == "Pop"
+    assert report.n == 5
+    for value in report.as_dict().values():
+        assert 0.0 <= value <= 1.0
+    assert "ndcg" in report.extras
+
+
+def test_report_metric_lookup(small_split):
+    model = MostPopular().fit(small_split.train)
+    recs = model.recommend_all(5).as_dict()
+    report = evaluate_top_n(recs, small_split.train, small_split.test, 5, algorithm="Pop")
+    assert report.metric("f_measure") == report.f_measure
+    assert report.metric("coverage") == report.coverage
+    with pytest.raises(EvaluationError):
+        report.metric("does-not-exist")
+
+
+def test_evaluate_top_n_rejects_bad_n(small_split):
+    with pytest.raises(EvaluationError):
+        evaluate_top_n({}, small_split.train, small_split.test, 0)
+
+
+def test_pop_profile_matches_paper_expectations(small_split):
+    """Pop: relatively accurate but with poor coverage and novelty."""
+    model = MostPopular().fit(small_split.train)
+    recs = model.recommend_all(5).as_dict()
+    report = evaluate_top_n(recs, small_split.train, small_split.test, 5, algorithm="Pop")
+    assert report.coverage < 0.3
+    assert report.gini > 0.7
+    assert report.lt_accuracy < 0.2
+
+
+def test_f_measure_relationship_holds_in_report(small_split):
+    model = MostPopular().fit(small_split.train)
+    recs = model.recommend_all(5).as_dict()
+    report = evaluate_top_n(recs, small_split.train, small_split.test, 5, algorithm="Pop")
+    if report.precision + report.recall > 0:
+        expected = report.precision * report.recall / (report.precision + report.recall)
+        assert report.f_measure == pytest.approx(expected)
+
+
+def test_relevant_items_for_user_without_test_ratings():
+    data = RatingDataset(
+        np.array([0, 0, 1]),
+        np.array([0, 1, 0]),
+        np.array([5.0, 4.0, 5.0]),
+        n_users=3,
+        n_items=2,
+    )
+    relevant = relevant_test_items(data)
+    assert relevant[2].size == 0

@@ -1,0 +1,93 @@
+"""Tests for the preference-model comparison utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.preferences.analysis import (
+    PreferenceComparison,
+    compare_preference_models,
+    default_estimators,
+    dispersion_summary,
+    preference_shift_users,
+)
+from repro.preferences.base import PreferenceResult
+from repro.preferences.simple import ConstantPreference, TfidfPreference
+
+
+def test_default_estimators_cover_figure2_models():
+    assert set(default_estimators()) == {"thetaA", "thetaN", "thetaT", "thetaG"}
+
+
+@pytest.fixture(scope="module")
+def comparison(small_split) -> PreferenceComparison:
+    return compare_preference_models(small_split.train)
+
+
+def test_comparison_contains_all_pairs(comparison):
+    names = set(comparison.estimates)
+    expected_pairs = len(names) * (len(names) - 1) // 2
+    assert len(comparison.spearman) == expected_pairs
+    assert len(comparison.top_user_overlap) == expected_pairs
+
+
+def test_correlations_are_valid(comparison):
+    for value in comparison.spearman.values():
+        assert -1.0 <= value <= 1.0
+    for value in comparison.top_user_overlap.values():
+        assert 0.0 <= value <= 1.0
+
+
+def test_tfidf_and_generalized_are_strongly_related(comparison):
+    """θG refines θT, so the two must be highly rank-correlated (Section II-C)."""
+    assert comparison.correlation("thetaT", "thetaG") > 0.7
+
+
+def test_correlation_lookup_is_order_insensitive(comparison):
+    assert comparison.correlation("thetaT", "thetaG") == comparison.correlation("thetaG", "thetaT")
+    with pytest.raises(ConfigurationError):
+        comparison.correlation("thetaT", "missing")
+
+
+def test_most_correlated_pair_is_a_real_pair(comparison):
+    pair = comparison.most_correlated_pair()
+    assert pair in comparison.spearman
+
+
+def test_compare_requires_at_least_two_models(small_split):
+    with pytest.raises(ConfigurationError):
+        compare_preference_models(small_split.train, estimators={"only": TfidfPreference()})
+
+
+def test_constant_estimator_has_zero_correlation(small_split):
+    comparison = compare_preference_models(
+        small_split.train,
+        estimators={"thetaT": TfidfPreference(), "thetaC": ConstantPreference(0.5)},
+    )
+    assert comparison.correlation("thetaT", "thetaC") == 0.0
+
+
+def test_dispersion_summary_structure(comparison):
+    summary = dispersion_summary(comparison.estimates)
+    assert set(summary) == set(comparison.estimates)
+    for stats in summary.values():
+        assert set(stats) == {"mean", "std", "iqr"}
+        assert stats["std"] >= 0.0
+
+
+def test_preference_shift_users_orders_by_change():
+    baseline = PreferenceResult(theta=np.array([0.1, 0.5, 0.9, 0.3]), model_name="a")
+    refined = PreferenceResult(theta=np.array([0.1, 0.9, 0.0, 0.35]), model_name="b")
+    shifted = preference_shift_users(baseline, refined, top_k=2)
+    assert list(shifted) == [2, 1]
+
+
+def test_preference_shift_users_validation():
+    a = PreferenceResult(theta=np.array([0.1, 0.2]), model_name="a")
+    b = PreferenceResult(theta=np.array([0.1, 0.2, 0.3]), model_name="b")
+    with pytest.raises(ConfigurationError):
+        preference_shift_users(a, b)
+    with pytest.raises(ConfigurationError):
+        preference_shift_users(a, a, top_k=0)

@@ -1,0 +1,49 @@
+"""Tests for the preference model registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.preferences import (
+    ActivityPreference,
+    ConstantPreference,
+    GeneralizedPreference,
+    NormalizedLongTailPreference,
+    RandomPreference,
+    TfidfPreference,
+    make_preference_model,
+)
+
+
+@pytest.mark.parametrize(
+    "name, expected_type",
+    [
+        ("thetaA", ActivityPreference),
+        ("thetaN", NormalizedLongTailPreference),
+        ("thetaT", TfidfPreference),
+        ("thetaG", GeneralizedPreference),
+        ("thetaR", RandomPreference),
+        ("thetaC", ConstantPreference),
+        ("activity", ActivityPreference),
+        ("generalized", GeneralizedPreference),
+    ],
+)
+def test_registry_builds_expected_types(name, expected_type):
+    assert isinstance(make_preference_model(name), expected_type)
+
+
+def test_registry_accepts_unicode_theta():
+    assert isinstance(make_preference_model("θG"), GeneralizedPreference)
+
+
+def test_registry_forwards_kwargs():
+    model = make_preference_model("thetaC", value=0.8)
+    assert model.value == pytest.approx(0.8)
+    generalized = make_preference_model("thetaG", max_iterations=7)
+    assert generalized.max_iterations == 7
+
+
+def test_registry_rejects_unknown_names():
+    with pytest.raises(ConfigurationError):
+        make_preference_model("thetaX")

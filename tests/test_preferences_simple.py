@@ -1,0 +1,121 @@
+"""Tests for the simple long-tail preference models (θA, θN, θT, θR, θC)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.popularity import PopularityStats
+from repro.exceptions import ConfigurationError
+from repro.preferences.base import PreferenceResult
+from repro.preferences.simple import (
+    ActivityPreference,
+    ConstantPreference,
+    NormalizedLongTailPreference,
+    RandomPreference,
+    TfidfPreference,
+    per_user_item_preference,
+)
+
+
+def test_preference_result_validates_range():
+    with pytest.raises(ConfigurationError):
+        PreferenceResult(theta=np.array([0.2, 1.4]), model_name="bad")
+    with pytest.raises(ConfigurationError):
+        PreferenceResult(theta=np.array([[0.2]]), model_name="bad-shape")
+
+
+def test_preference_result_accessors():
+    result = PreferenceResult(theta=np.array([0.1, 0.9]), model_name="m")
+    assert result.n_users == 2
+    assert result.for_user(1) == pytest.approx(0.9)
+
+
+def test_activity_preference_is_minmax_of_counts(tiny_dataset):
+    theta = ActivityPreference().estimate(tiny_dataset).theta
+    # Every user rated exactly 3 items, so normalized activity is constant 0.
+    np.testing.assert_allclose(theta, 0.0)
+
+
+def test_activity_preference_orders_users_by_activity(small_split):
+    theta = ActivityPreference().estimate(small_split.train).theta
+    activity = small_split.train.user_activity()
+    assert theta[np.argmax(activity)] == pytest.approx(1.0)
+    assert theta[np.argmin(activity)] == pytest.approx(0.0)
+
+
+def test_normalized_longtail_fraction(tiny_dataset):
+    stats = PopularityStats.from_dataset(tiny_dataset)
+    theta = NormalizedLongTailPreference().estimate(tiny_dataset, popularity=stats).theta
+    # User 3 rated both single-rating items (4, 5): their fraction must be the
+    # largest in the population.
+    assert np.argmax(theta) == 3
+    assert np.all((theta >= 0) & (theta <= 1))
+
+
+def test_normalized_longtail_zero_for_head_only_users(tiny_dataset):
+    stats = PopularityStats.from_dataset(tiny_dataset)
+    theta = NormalizedLongTailPreference().estimate(tiny_dataset, popularity=stats).theta
+    head_mask = ~stats.long_tail_mask
+    # User 0 rated items 0, 1, 2; if all of those are head items, theta is 0.
+    if head_mask[[0, 1, 2]].all():
+        assert theta[0] == pytest.approx(0.0)
+
+
+def test_per_user_item_preference_alignment(tiny_dataset):
+    values = per_user_item_preference(tiny_dataset)
+    assert values.shape == (tiny_dataset.n_ratings,)
+    assert values.min() >= 0.0 and values.max() <= 1.0
+
+
+def test_per_user_item_preference_unnormalized_monotone_in_rarity(tiny_dataset):
+    values = per_user_item_preference(tiny_dataset, normalize=False)
+    # A 5-star rating on a rare item is worth more than a 5-star rating on the
+    # blockbuster item 0.
+    users = tiny_dataset.user_indices
+    items = tiny_dataset.item_indices
+    rare_idx = int(np.flatnonzero((users == 3) & (items == 4))[0])
+    popular_idx = int(np.flatnonzero((users == 0) & (items == 0))[0])
+    assert values[rare_idx] > values[popular_idx]
+
+
+def test_tfidf_preference_prefers_longtail_raters(tiny_dataset):
+    theta = TfidfPreference().estimate(tiny_dataset).theta
+    assert np.argmax(theta) == 3
+    assert np.all((theta >= 0) & (theta <= 1))
+
+
+def test_tfidf_preference_on_synthetic_data_is_not_degenerate(small_split):
+    theta = TfidfPreference().estimate(small_split.train).theta
+    assert theta.std() > 0.0
+    assert 0.0 < theta.mean() < 1.0
+
+
+def test_random_preference_determinism(small_split):
+    a = RandomPreference(seed=3).estimate(small_split.train).theta
+    b = RandomPreference(seed=3).estimate(small_split.train).theta
+    np.testing.assert_allclose(a, b)
+    c = RandomPreference(seed=4).estimate(small_split.train).theta
+    assert not np.allclose(a, c)
+
+
+def test_random_preference_spans_unit_interval(small_split):
+    theta = RandomPreference(seed=0).estimate(small_split.train).theta
+    assert theta.min() >= 0.0 and theta.max() <= 1.0
+    assert theta.std() > 0.1
+
+
+def test_constant_preference_value(small_split):
+    theta = ConstantPreference(0.25).estimate(small_split.train).theta
+    np.testing.assert_allclose(theta, 0.25)
+
+
+def test_constant_preference_validation():
+    with pytest.raises(ConfigurationError):
+        ConstantPreference(1.5)
+
+
+def test_model_names_are_stable(tiny_dataset):
+    assert ActivityPreference().estimate(tiny_dataset).model_name == "activity"
+    assert TfidfPreference().estimate(tiny_dataset).model_name == "tfidf"
+    assert ConstantPreference().estimate(tiny_dataset).model_name == "constant"

@@ -1,0 +1,191 @@
+"""Hypothesis property-based tests on core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.data.dataset import RatingDataset
+from repro.data.popularity import long_tail_items
+from repro.data.split import RatioSplitter
+from repro.ganc.value_function import UserValueFunction, combined_item_scores
+from repro.metrics.coverage import coverage_at_n, gini_at_n
+from repro.metrics.longtail import lt_accuracy_at_n
+from repro.utils.normalization import min_max_normalize
+
+# Keep hypothesis example counts modest so the suite stays fast.
+FAST = settings(max_examples=40, deadline=None)
+
+
+# --------------------------------------------------------------------------- #
+# Normalization
+# --------------------------------------------------------------------------- #
+@FAST
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=st.integers(1, 60),
+        elements=st.floats(-1e6, 1e6, allow_nan=False),
+    )
+)
+def test_min_max_normalize_always_lands_in_unit_interval(values):
+    out = min_max_normalize(values)
+    assert out.shape == values.shape
+    assert np.all(out >= 0.0) and np.all(out <= 1.0)
+    if np.ptp(values) > 0:
+        assert out.min() == pytest.approx(0.0)
+        assert out.max() == pytest.approx(1.0)
+
+
+@FAST
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=st.integers(2, 40),
+        elements=st.floats(-100, 100, allow_nan=False),
+    )
+)
+def test_min_max_normalize_is_monotone(values):
+    out = min_max_normalize(values)
+    ordered = out[np.argsort(values, kind="stable")]
+    # Normalization is affine with a positive slope, so it never inverts an
+    # ordering (ties may collapse due to floating point, hence the tolerance).
+    assert np.all(np.diff(ordered) >= -1e-12)
+
+
+# --------------------------------------------------------------------------- #
+# Rating dataset construction
+# --------------------------------------------------------------------------- #
+interaction_lists = st.lists(
+    st.tuples(st.integers(0, 15), st.integers(0, 25), st.floats(1.0, 5.0)),
+    min_size=1,
+    max_size=120,
+)
+
+
+@FAST
+@given(interaction_lists)
+def test_dataset_roundtrip_consistency(triples):
+    # Deduplicate (user, item) pairs keeping the first occurrence, as a
+    # real loading pipeline would.
+    seen = set()
+    unique = []
+    for user, item, rating in triples:
+        if (user, item) not in seen:
+            seen.add((user, item))
+            unique.append((f"u{user}", f"i{item}", rating))
+    data = RatingDataset.from_interactions(unique)
+    assert data.n_ratings == len(unique)
+    assert data.user_activity().sum() == data.n_ratings
+    assert data.item_popularity().sum() == data.n_ratings
+    assert 0.0 < data.density <= 1.0
+
+
+@FAST
+@given(interaction_lists, st.floats(0.1, 0.9))
+def test_ratio_split_partitions_every_dataset(triples, ratio):
+    seen = set()
+    unique = []
+    for user, item, rating in triples:
+        if (user, item) not in seen:
+            seen.add((user, item))
+            unique.append((user, item, rating))
+    data = RatingDataset.from_interactions(unique)
+    split = RatioSplitter(ratio, seed=0).split(data)
+    assert split.train.n_ratings + split.test.n_ratings == data.n_ratings
+    train_pairs = set(zip(split.train.user_indices.tolist(), split.train.item_indices.tolist()))
+    test_pairs = set(zip(split.test.user_indices.tolist(), split.test.item_indices.tolist()))
+    assert train_pairs.isdisjoint(test_pairs)
+    # Every user with ratings keeps at least one interaction in train.
+    original = data.user_activity()
+    assert np.all(split.train.user_activity()[original > 0] >= 1)
+
+
+# --------------------------------------------------------------------------- #
+# Long-tail definition
+# --------------------------------------------------------------------------- #
+@FAST
+@given(
+    hnp.arrays(dtype=np.int64, shape=st.integers(1, 80), elements=st.integers(0, 500)),
+    st.floats(0.05, 0.6),
+)
+def test_long_tail_mass_respects_threshold(popularity, fraction):
+    tail = long_tail_items(popularity, tail_fraction=fraction)
+    total = popularity.sum()
+    if total == 0:
+        assert tail.size == popularity.size
+        return
+    tail_mass = popularity[tail].sum()
+    assert tail_mass <= fraction * total + 1e-9
+    # The tail is maximal: adding the least popular head item would exceed it.
+    head = np.setdiff1d(np.arange(popularity.size), tail)
+    if head.size:
+        smallest_head = popularity[head].min()
+        assert tail_mass + smallest_head >= fraction * total - 1e-9 or tail.size == 0
+
+
+# --------------------------------------------------------------------------- #
+# Value function
+# --------------------------------------------------------------------------- #
+@FAST
+@given(
+    st.integers(4, 30),
+    st.floats(0.0, 1.0),
+    st.integers(1, 5),
+    st.integers(0, 10_000),
+)
+def test_greedy_top_n_maximizes_additive_value(n_items, theta, n, seed):
+    rng = np.random.default_rng(seed)
+    acc = rng.random(n_items)
+    cov = rng.random(n_items)
+    vf = UserValueFunction(theta=theta, accuracy_scores=acc, coverage_scores=cov)
+    top = vf.greedy_top_n(n)
+    k = min(n, n_items)
+    assert top.size == k
+    assert len(set(top.tolist())) == k
+    combined = combined_item_scores(acc, cov, theta)
+    best_possible = float(np.sort(combined)[::-1][:k].sum())
+    assert vf.value_of(top) == pytest.approx(best_possible)
+
+
+# --------------------------------------------------------------------------- #
+# Metrics
+# --------------------------------------------------------------------------- #
+recommendation_maps = st.dictionaries(
+    keys=st.integers(0, 20),
+    values=hnp.arrays(dtype=np.int64, shape=st.integers(1, 8), elements=st.integers(0, 49)),
+    min_size=1,
+    max_size=15,
+)
+
+
+@FAST
+@given(recommendation_maps)
+def test_coverage_and_gini_stay_in_bounds(recs):
+    coverage = coverage_at_n(recs, 50)
+    gini = gini_at_n(recs, 50)
+    assert 0.0 < coverage <= 1.0
+    assert 0.0 <= gini <= 1.0
+
+
+@FAST
+@given(recommendation_maps, st.integers(1, 8))
+def test_lt_accuracy_bounded_by_one(recs, n):
+    mask = np.zeros(50, dtype=bool)
+    mask[25:] = True
+    # LTAccuracy@N assumes top-N sets of at most N items, as produced by the
+    # recommenders; truncate the generated lists accordingly.
+    truncated = {user: items[:n] for user, items in recs.items()}
+    value = lt_accuracy_at_n(truncated, mask, n)
+    assert 0.0 <= value <= 1.0
+
+
+@FAST
+@given(recommendation_maps)
+def test_gini_decreases_when_spreading_recommendations(recs):
+    """Replacing every list with distinct items can only reduce concentration."""
+    concentrated = {u: np.zeros(3, dtype=np.int64) for u in recs}
+    spread = {u: np.array([(3 * u) % 50, (3 * u + 1) % 50, (3 * u + 2) % 50]) for u in recs}
+    assert gini_at_n(spread, 50) <= gini_at_n(concentrated, 50) + 1e-9

@@ -1,0 +1,70 @@
+"""Contracts of the public API surface (top-level and repro.core facade)."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+import repro.core as core
+
+
+def test_version_is_exposed():
+    assert isinstance(repro.__version__, str)
+    assert repro.__version__.count(".") >= 1
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.__all__ lists {name} but it is missing"
+
+
+def test_core_facade_names_resolve():
+    for name in core.__all__:
+        assert hasattr(core, name), f"repro.core.__all__ lists {name} but it is missing"
+
+
+def test_core_facade_reexports_the_same_objects():
+    assert core.GANC is repro.GANC
+    assert core.GANCConfig is repro.GANCConfig
+    assert core.GeneralizedPreference is repro.GeneralizedPreference
+    assert core.DynamicCoverage is repro.DynamicCoverage
+
+
+@pytest.mark.parametrize(
+    "module_name",
+    [
+        "repro.data",
+        "repro.data.io",
+        "repro.data.stats",
+        "repro.preferences",
+        "repro.preferences.analysis",
+        "repro.recommenders",
+        "repro.coverage",
+        "repro.ganc",
+        "repro.rerankers",
+        "repro.metrics",
+        "repro.metrics.beyond",
+        "repro.evaluation",
+        "repro.experiments",
+        "repro.experiments.report_writer",
+        "repro.utils",
+        "repro.utils.plotting",
+        "repro.cli",
+    ],
+)
+def test_every_subpackage_imports_cleanly(module_name):
+    assert importlib.import_module(module_name) is not None
+
+
+def test_paper_template_components_compose(tiny_dataset):
+    """The README's GANC(ARec, theta, CRec) template composes from the top-level API."""
+    model = repro.GANC(
+        repro.MostPopular(),
+        repro.TfidfPreference(),
+        repro.StaticCoverage(),
+    )
+    top = model.fit(tiny_dataset).recommend_all(2)
+    assert top.items.shape == (tiny_dataset.n_users, 2)
+    assert model.template.startswith("GANC(MostPopular")

@@ -1,0 +1,87 @@
+"""Tests for the Pop and Rand recommenders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.recommenders.popularity import MostPopular
+from repro.recommenders.random import RandomRecommender
+
+
+def test_pop_ranks_by_train_popularity(tiny_dataset):
+    model = MostPopular().fit(tiny_dataset)
+    # User 3 has not rated items 1, 2, 3 (popularity 2 each); items 4, 5 are theirs.
+    recs = model.recommend(3, 3)
+    assert set(recs.tolist()) == {1, 2, 3}
+    # The most popular unseen item for user 0 is item 3 (popularity 2).
+    assert model.recommend(0, 1)[0] == 3
+
+
+def test_pop_scores_identical_for_all_users(tiny_dataset):
+    model = MostPopular().fit(tiny_dataset)
+    items = np.arange(tiny_dataset.n_items)
+    np.testing.assert_allclose(model.predict_scores(0, items), model.predict_scores(1, items))
+
+
+def test_pop_tie_break_is_deterministic(tiny_dataset):
+    model = MostPopular().fit(tiny_dataset)
+    first = model.recommend(3, 3)
+    second = MostPopular().fit(tiny_dataset).recommend(3, 3)
+    np.testing.assert_array_equal(first, second)
+    # Ties (items 1, 2, 3 all have popularity 2) resolve to lower index first.
+    assert first.tolist() == sorted(first.tolist())
+
+
+def test_pop_unit_scores_are_binary_membership(tiny_dataset):
+    model = MostPopular().fit(tiny_dataset)
+    scores = model.unit_scores(0, 2)
+    assert set(np.unique(scores).tolist()) <= {0.0, 1.0}
+    assert scores.sum() == 2
+    top = model.recommend(0, 2)
+    assert scores[top].min() == 1.0
+
+
+def test_pop_popularity_property(tiny_dataset):
+    model = MostPopular().fit(tiny_dataset)
+    np.testing.assert_array_equal(model.popularity, [4, 2, 2, 2, 1, 1])
+
+
+def test_pop_has_low_coverage_on_biased_data(small_split):
+    """Pop recommends nearly the same items to everyone."""
+    model = MostPopular().fit(small_split.train)
+    top = model.recommend_all(5)
+    distinct = {int(i) for user in range(top.n_users) for i in top.for_user(user)}
+    assert len(distinct) < 0.2 * small_split.train.n_items
+
+
+def test_random_recommender_is_deterministic_per_seed(tiny_dataset):
+    a = RandomRecommender(seed=3).fit(tiny_dataset).recommend(0, 3)
+    b = RandomRecommender(seed=3).fit(tiny_dataset).recommend(0, 3)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_random_recommender_differs_across_seeds(small_split):
+    a = RandomRecommender(seed=1).fit(small_split.train).recommend(0, 10)
+    b = RandomRecommender(seed=2).fit(small_split.train).recommend(0, 10)
+    assert not np.array_equal(a, b)
+
+
+def test_random_recommender_query_order_does_not_matter(tiny_dataset):
+    model = RandomRecommender(seed=5).fit(tiny_dataset)
+    first_user0 = model.recommend(0, 3).copy()
+    model.recommend(3, 3)
+    np.testing.assert_array_equal(model.recommend(0, 3), first_user0)
+
+
+def test_random_recommender_has_high_coverage(small_split):
+    model = RandomRecommender(seed=0).fit(small_split.train)
+    top = model.recommend_all(5)
+    distinct = {int(i) for user in range(top.n_users) for i in top.for_user(user)}
+    assert len(distinct) > 0.5 * small_split.train.n_items
+
+
+def test_random_scores_lie_in_unit_interval(tiny_dataset):
+    model = RandomRecommender(seed=0).fit(tiny_dataset)
+    scores = model.predict_scores(0, np.arange(tiny_dataset.n_items))
+    assert scores.min() >= 0.0 and scores.max() <= 1.0

@@ -1,0 +1,98 @@
+"""Tests for the PRA (personalized ranking adaptation) re-ranker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.recommenders.puresvd import PureSVD
+from repro.rerankers.pra import PersonalizedRankingAdaptation
+
+
+@pytest.fixture(scope="module")
+def fitted_base(medium_split):
+    return PureSVD(n_factors=12).fit(medium_split.train)
+
+
+def test_constructor_validation(fitted_base):
+    with pytest.raises(ConfigurationError):
+        PersonalizedRankingAdaptation(fitted_base, exchangeable_size=0)
+    with pytest.raises(ConfigurationError):
+        PersonalizedRankingAdaptation(fitted_base, max_steps=-1)
+    with pytest.raises(ConfigurationError):
+        PersonalizedRankingAdaptation(fitted_base, sample_size=0)
+
+
+def test_name_template(fitted_base, medium_split):
+    reranker = PersonalizedRankingAdaptation(fitted_base, exchangeable_size=20)
+    reranker.fit(medium_split.train)
+    assert reranker.name == "PRA(PureSVD, 20)"
+
+
+def test_tendencies_are_estimated_per_user(fitted_base, medium_split):
+    reranker = PersonalizedRankingAdaptation(fitted_base, seed=0).fit(medium_split.train)
+    assert reranker._targets.shape == (medium_split.train.n_users,)
+    assert np.all((reranker._targets >= 0.0) & (reranker._targets <= 1.0))
+    assert np.all(reranker._tolerances >= 0.0)
+
+
+def test_recommendations_are_valid_sets(fitted_base, medium_split):
+    reranker = PersonalizedRankingAdaptation(fitted_base, seed=0).fit(medium_split.train)
+    top = reranker.recommend_all(5)
+    for user in range(0, top.n_users, 7):
+        row = top.for_user(user)
+        assert row.size == 5
+        assert len(set(row.tolist())) == 5
+        seen = set(medium_split.train.user_items(user).tolist())
+        assert seen.isdisjoint(set(row.tolist()))
+
+
+def test_swaps_only_use_the_exchangeable_set(fitted_base, medium_split):
+    reranker = PersonalizedRankingAdaptation(
+        fitted_base, exchangeable_size=10, seed=0
+    ).fit(medium_split.train)
+    for user in (0, 11, 42):
+        allowed = set(
+            fitted_base.recommend(
+                user, 5 + 10, exclude_items=medium_split.train.user_items(user)
+            ).tolist()
+        )
+        recs = set(reranker.rerank_user(user, 5).tolist())
+        assert recs.issubset(allowed)
+
+
+def test_zero_steps_returns_base_ranking(fitted_base, medium_split):
+    reranker = PersonalizedRankingAdaptation(
+        fitted_base, exchangeable_size=10, max_steps=0, seed=0
+    ).fit(medium_split.train)
+    for user in (3, 19):
+        base = fitted_base.recommend(user, 5)
+        np.testing.assert_array_equal(np.sort(reranker.rerank_user(user, 5)), np.sort(base))
+
+
+def test_adaptation_moves_lists_toward_user_tendency(fitted_base, medium_split):
+    """After adaptation, the average list novelty is closer to the target."""
+    reranker = PersonalizedRankingAdaptation(
+        fitted_base, exchangeable_size=20, max_steps=20, seed=0
+    ).fit(medium_split.train)
+    novelty = reranker._novelty
+    improved = 0
+    total = 0
+    for user in range(0, medium_split.train.n_users, 5):
+        base = fitted_base.recommend(user, 5)
+        adapted = reranker.rerank_user(user, 5)
+        if base.size < 5 or adapted.size < 5:
+            continue
+        target = reranker._targets[user]
+        before = abs(float(novelty[base].mean()) - target)
+        after = abs(float(novelty[adapted].mean()) - target)
+        improved += int(after <= before + 1e-9)
+        total += 1
+    assert improved / total > 0.9
+
+
+def test_reranker_is_deterministic(fitted_base, medium_split):
+    a = PersonalizedRankingAdaptation(fitted_base, seed=5).fit(medium_split.train).recommend_all(5)
+    b = PersonalizedRankingAdaptation(fitted_base, seed=5).fit(medium_split.train).recommend_all(5)
+    np.testing.assert_array_equal(a.items, b.items)

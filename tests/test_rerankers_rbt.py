@@ -1,0 +1,130 @@
+"""Tests for the RBT (ranking-based techniques) re-ranker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.metrics.coverage import coverage_at_n
+from repro.recommenders.rsvd import RSVD
+from repro.rerankers.rbt import RankingBasedTechnique
+
+
+@pytest.fixture(scope="module")
+def fitted_base(medium_split):
+    return RSVD(n_factors=10, n_epochs=25, learning_rate=0.02, seed=0).fit(medium_split.train)
+
+
+def test_constructor_validation(fitted_base):
+    with pytest.raises(ConfigurationError):
+        RankingBasedTechnique(fitted_base, criterion="bogus")
+    with pytest.raises(ConfigurationError):
+        RankingBasedTechnique(fitted_base, ranking_threshold=6.0, max_rating=5.0)
+    with pytest.raises(ConfigurationError):
+        RankingBasedTechnique(fitted_base, popularity_floor=-1)
+
+
+def test_unfitted_reranker_raises(fitted_base):
+    reranker = RankingBasedTechnique(fitted_base)
+    with pytest.raises(NotFittedError):
+        reranker.rerank_user(0, 5)
+
+
+def test_name_template(fitted_base, medium_split):
+    reranker = RankingBasedTechnique(fitted_base, criterion="avg").fit(medium_split.train)
+    assert reranker.name == "RBT(RSVD, Avg)"
+
+
+def test_rerank_excludes_train_items(fitted_base, medium_split):
+    reranker = RankingBasedTechnique(fitted_base, ranking_threshold=3.5).fit(medium_split.train)
+    for user in (0, 7, 33):
+        recs = reranker.rerank_user(user, 5)
+        seen = set(medium_split.train.user_items(user).tolist())
+        assert seen.isdisjoint(set(recs.tolist()))
+        assert len(set(recs.tolist())) == recs.size
+
+
+def test_low_threshold_promotes_unpopular_items(fitted_base, medium_split):
+    """With a permissive TR the Pop criterion surfaces less popular items."""
+    standard = fitted_base.recommend_all(5).as_dict()
+    reranker = RankingBasedTechnique(
+        fitted_base, criterion="pop", ranking_threshold=2.0, popularity_floor=0
+    ).fit(medium_split.train)
+    reranked = reranker.recommend_all(5).as_dict()
+    popularity = medium_split.train.item_popularity()
+
+    def mean_popularity(recs: dict[int, np.ndarray]) -> float:
+        values = [popularity[i] for items in recs.values() for i in items]
+        return float(np.mean(values))
+
+    assert mean_popularity(reranked) < mean_popularity(standard)
+
+
+def test_promoted_head_items_respect_the_threshold(fitted_base, medium_split):
+    """Every item placed ahead of the standard order has a predicted rating >= TR.
+
+    This is the defining property of RBT: only confidently-liked items are
+    eligible for promotion by the alternative criterion.
+    """
+    threshold = 3.0
+    reranker = RankingBasedTechnique(
+        fitted_base, criterion="pop", ranking_threshold=threshold, popularity_floor=0
+    ).fit(medium_split.train)
+    for user in (0, 13, 57):
+        recs = reranker.rerank_user(user, 5)
+        scores = fitted_base.predict_scores(user, recs)
+        standard = fitted_base.recommend(user, 5)
+        standard_scores = fitted_base.predict_scores(user, standard)
+        # Items that replaced a strictly better-scored standard item must have
+        # cleared the promotion threshold.
+        for rank, (item, score) in enumerate(zip(recs, scores)):
+            if item not in standard and score < standard_scores.min():
+                assert score >= threshold or np.isclose(score, threshold)
+
+
+def test_reranked_coverage_is_never_catastrophically_low(fitted_base, medium_split):
+    """RBT keeps a sane level of aggregate coverage (it only reorders heads)."""
+    reranker = RankingBasedTechnique(
+        fitted_base, criterion="pop", ranking_threshold=2.5, popularity_floor=0
+    ).fit(medium_split.train)
+    reranked = reranker.recommend_all(5).as_dict()
+    assert coverage_at_n(reranked, medium_split.train.n_items) > 0.01
+
+
+def test_high_threshold_preserves_base_ranking(fitted_base, medium_split):
+    """If no prediction reaches TR the standard order must be untouched."""
+    reranker = RankingBasedTechnique(
+        fitted_base, ranking_threshold=5.0, max_rating=5.0
+    ).fit(medium_split.train)
+    standard = fitted_base.recommend_all(5)
+    reranked = reranker.recommend_all(5)
+    max_score = max(
+        fitted_base.score_all_items(u).max() for u in range(0, medium_split.train.n_users, 10)
+    )
+    if max_score < 5.0:
+        np.testing.assert_array_equal(standard.items, reranked.items)
+
+
+def test_avg_criterion_orders_head_by_average_rating(medium_split, fitted_base):
+    reranker = RankingBasedTechnique(
+        fitted_base, criterion="avg", ranking_threshold=2.0, popularity_floor=0
+    ).fit(medium_split.train)
+    recs = reranker.rerank_user(0, 10)
+    assert recs.size == 10
+
+
+def test_popularity_floor_blocks_rare_items_from_head(medium_split, fitted_base):
+    permissive = RankingBasedTechnique(
+        fitted_base, criterion="pop", ranking_threshold=2.0, popularity_floor=0
+    ).fit(medium_split.train)
+    strict = RankingBasedTechnique(
+        fitted_base, criterion="pop", ranking_threshold=2.0, popularity_floor=5
+    ).fit(medium_split.train)
+    popularity = medium_split.train.item_popularity()
+    strict_recs = strict.recommend_all(5).as_dict()
+    # With a popularity floor of 5, promoted items near the top must have
+    # at least 5 ratings or come from the standard (non-promoted) tail.
+    permissive_top = [i for items in permissive.recommend_all(5).as_dict().values() for i in items[:1]]
+    strict_top = [i for items in strict_recs.values() for i in items[:1]]
+    assert np.mean(popularity[strict_top]) >= np.mean(popularity[permissive_top])

@@ -1,0 +1,89 @@
+"""Tests for the 5D resource-allocation re-ranker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.popularity import PopularityStats
+from repro.exceptions import ConfigurationError
+from repro.metrics.longtail import lt_accuracy_at_n
+from repro.metrics.report import evaluate_top_n
+from repro.recommenders.rsvd import RSVD
+from repro.rerankers.resource_allocation import ResourceAllocation5D
+
+
+@pytest.fixture(scope="module")
+def fitted_base(medium_split):
+    return RSVD(n_factors=10, n_epochs=25, learning_rate=0.02, seed=0).fit(medium_split.train)
+
+
+def test_constructor_validation(fitted_base):
+    with pytest.raises(ConfigurationError):
+        ResourceAllocation5D(fitted_base, resource_multiplier=0)
+    with pytest.raises(ConfigurationError):
+        ResourceAllocation5D(fitted_base, preference_exponent=0)
+
+
+def test_name_template(fitted_base, medium_split):
+    plain = ResourceAllocation5D(fitted_base).fit(medium_split.train)
+    assert plain.name == "5D(RSVD)"
+    full = ResourceAllocation5D(
+        fitted_base, accuracy_filtering=True, rank_by_rankings=True
+    ).fit(medium_split.train)
+    assert full.name == "5D(RSVD, A, RR)"
+
+
+def test_recommendations_are_valid_sets(fitted_base, medium_split):
+    reranker = ResourceAllocation5D(fitted_base).fit(medium_split.train)
+    top = reranker.recommend_all(5)
+    for user in range(top.n_users):
+        row = top.for_user(user)
+        assert row.size == 5
+        assert len(set(row.tolist())) == 5
+        seen = set(medium_split.train.user_items(user).tolist())
+        assert seen.isdisjoint(set(row.tolist()))
+
+
+def test_plain_variant_promotes_long_tail_aggressively(fitted_base, medium_split):
+    """5D without filters is the strongest long-tail promoter (Table IV trend)."""
+    stats = PopularityStats.from_dataset(medium_split.train)
+    base_recs = fitted_base.recommend_all(5).as_dict()
+    reranked = ResourceAllocation5D(fitted_base).fit(medium_split.train).recommend_all(5).as_dict()
+    assert lt_accuracy_at_n(reranked, stats.long_tail_mask, 5) >= lt_accuracy_at_n(
+        base_recs, stats.long_tail_mask, 5
+    )
+
+
+def test_accuracy_filtering_recovers_accuracy(fitted_base, medium_split):
+    """The A variant must be at least as accurate as the plain 5D ranking."""
+    plain = ResourceAllocation5D(fitted_base).fit(medium_split.train).recommend_all(5).as_dict()
+    filtered = (
+        ResourceAllocation5D(fitted_base, accuracy_filtering=True, rank_by_rankings=True)
+        .fit(medium_split.train)
+        .recommend_all(5)
+        .as_dict()
+    )
+    plain_report = evaluate_top_n(
+        plain, medium_split.train, medium_split.test, 5, algorithm="5D"
+    )
+    filtered_report = evaluate_top_n(
+        filtered, medium_split.train, medium_split.test, 5, algorithm="5D-A-RR"
+    )
+    assert filtered_report.f_measure >= plain_report.f_measure
+
+
+def test_rank_by_rankings_changes_the_ordering(fitted_base, medium_split):
+    plain = ResourceAllocation5D(fitted_base).fit(medium_split.train)
+    rr = ResourceAllocation5D(fitted_base, rank_by_rankings=True).fit(medium_split.train)
+    differences = sum(
+        not np.array_equal(plain.rerank_user(u, 5), rr.rerank_user(u, 5))
+        for u in range(0, medium_split.train.n_users, 10)
+    )
+    assert differences > 0
+
+
+def test_reranker_is_deterministic(fitted_base, medium_split):
+    a = ResourceAllocation5D(fitted_base).fit(medium_split.train).recommend_all(5)
+    b = ResourceAllocation5D(fitted_base).fit(medium_split.train).recommend_all(5)
+    np.testing.assert_array_equal(a.items, b.items)

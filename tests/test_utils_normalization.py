@@ -1,0 +1,55 @@
+"""Tests for normalization helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.normalization import clip_unit_interval, min_max_normalize, normalize_rows
+
+
+def test_min_max_normalize_maps_to_unit_interval():
+    out = min_max_normalize(np.array([2.0, 4.0, 6.0]))
+    np.testing.assert_allclose(out, [0.0, 0.5, 1.0])
+
+
+def test_min_max_normalize_constant_vector_is_zero():
+    out = min_max_normalize(np.array([3.0, 3.0, 3.0]))
+    np.testing.assert_allclose(out, [0.0, 0.0, 0.0])
+
+
+def test_min_max_normalize_empty_vector():
+    assert min_max_normalize(np.array([])).size == 0
+
+
+def test_min_max_normalize_does_not_mutate_input():
+    arr = np.array([1.0, 2.0, 3.0])
+    min_max_normalize(arr)
+    np.testing.assert_allclose(arr, [1.0, 2.0, 3.0])
+
+
+def test_min_max_normalize_handles_negative_values():
+    out = min_max_normalize(np.array([-2.0, 0.0, 2.0]))
+    np.testing.assert_allclose(out, [0.0, 0.5, 1.0])
+
+
+def test_normalize_rows_each_row_spans_unit_interval():
+    matrix = np.array([[1.0, 2.0, 3.0], [10.0, 10.0, 20.0]])
+    out = normalize_rows(matrix)
+    np.testing.assert_allclose(out[0], [0.0, 0.5, 1.0])
+    np.testing.assert_allclose(out[1], [0.0, 0.0, 1.0])
+
+
+def test_normalize_rows_constant_row_becomes_zero():
+    out = normalize_rows(np.array([[5.0, 5.0, 5.0]]))
+    np.testing.assert_allclose(out, [[0.0, 0.0, 0.0]])
+
+
+def test_normalize_rows_rejects_1d_input():
+    with pytest.raises(ValueError):
+        normalize_rows(np.array([1.0, 2.0]))
+
+
+def test_clip_unit_interval_bounds_values():
+    out = clip_unit_interval(np.array([-0.5, 0.25, 1.5]))
+    np.testing.assert_allclose(out, [0.0, 0.25, 1.0])

@@ -1,0 +1,90 @@
+"""Tests for the ASCII plotting helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.utils.plotting import Series, ascii_bars, ascii_histogram, ascii_plot
+
+
+def test_series_validates_lengths():
+    with pytest.raises(ConfigurationError):
+        Series(label="s", x=[1, 2], y=[1])
+
+
+def test_ascii_plot_contains_title_axes_and_legend():
+    series = Series(label="accuracy", x=[0, 1, 2, 3], y=[0.1, 0.2, 0.3, 0.4])
+    text = ascii_plot([series], title="My plot", x_label="N", y_label="F")
+    assert "My plot" in text
+    assert "legend: o=accuracy" in text
+    assert "N: 0 .. 3" in text
+    assert "F (top=" in text
+
+
+def test_ascii_plot_uses_distinct_markers_per_series():
+    a = Series(label="a", x=[0, 1], y=[0, 1])
+    b = Series(label="b", x=[0, 1], y=[1, 0])
+    text = ascii_plot([a, b])
+    assert "o=a" in text and "x=b" in text
+    assert "o" in text and "x" in text
+
+
+def test_ascii_plot_dimensions():
+    series = Series(label="s", x=list(range(10)), y=list(range(10)))
+    text = ascii_plot([series], width=30, height=8)
+    body_lines = [line for line in text.splitlines() if line.startswith("|")]
+    assert len(body_lines) == 8
+    assert all(len(line) == 31 for line in body_lines)
+
+
+def test_ascii_plot_validation():
+    with pytest.raises(ConfigurationError):
+        ascii_plot([])
+    with pytest.raises(ConfigurationError):
+        ascii_plot([Series("s", [1], [1])], width=3, height=3)
+
+
+def test_ascii_plot_constant_series_does_not_crash():
+    text = ascii_plot([Series("flat", [0, 1, 2], [0.5, 0.5, 0.5])])
+    assert "flat" in text
+
+
+def test_ascii_histogram_counts_values():
+    values = [0.1] * 5 + [0.9] * 2
+    text = ascii_histogram(values, bins=2, width=10)
+    lines = text.splitlines()
+    assert len(lines) == 2
+    assert lines[0].endswith("5")
+    assert lines[1].endswith("2")
+    # The fuller bin gets the longer bar.
+    assert lines[0].count("#") > lines[1].count("#")
+
+
+def test_ascii_histogram_title_and_range():
+    text = ascii_histogram([0.5], bins=4, title="theta", value_range=(0.0, 1.0))
+    assert text.splitlines()[0] == "theta"
+    assert len(text.splitlines()) == 5
+
+
+def test_ascii_histogram_validation():
+    with pytest.raises(ConfigurationError):
+        ascii_histogram([])
+    with pytest.raises(ConfigurationError):
+        ascii_histogram([1.0], bins=0)
+
+
+def test_ascii_bars_scales_to_largest_value():
+    text = ascii_bars(["pop", "rand"], [0.8, 0.2], width=20)
+    lines = text.splitlines()
+    assert lines[0].count("#") == 20
+    assert lines[1].count("#") == 5
+    assert "0.8000" in lines[0]
+
+
+def test_ascii_bars_validation():
+    with pytest.raises(ConfigurationError):
+        ascii_bars(["a"], [1.0, 2.0])
+    with pytest.raises(ConfigurationError):
+        ascii_bars([], [])

@@ -1,0 +1,57 @@
+"""Tests for the RNG helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rng
+
+
+def test_ensure_rng_accepts_none():
+    rng = ensure_rng(None)
+    assert isinstance(rng, np.random.Generator)
+
+
+def test_ensure_rng_accepts_int_and_is_deterministic():
+    a = ensure_rng(42).random(5)
+    b = ensure_rng(42).random(5)
+    np.testing.assert_allclose(a, b)
+
+
+def test_ensure_rng_passes_through_generators():
+    base = np.random.default_rng(0)
+    assert ensure_rng(base) is base
+
+
+def test_different_seeds_give_different_streams():
+    a = ensure_rng(1).random(10)
+    b = ensure_rng(2).random(10)
+    assert not np.allclose(a, b)
+
+
+def test_spawn_rng_produces_requested_count():
+    children = spawn_rng(ensure_rng(0), 4)
+    assert len(children) == 4
+    assert all(isinstance(c, np.random.Generator) for c in children)
+
+
+def test_spawn_rng_children_are_independent():
+    children = spawn_rng(ensure_rng(0), 2)
+    assert not np.allclose(children[0].random(5), children[1].random(5))
+
+
+def test_spawn_rng_is_deterministic_given_parent_seed():
+    first = [c.random(3) for c in spawn_rng(ensure_rng(7), 3)]
+    second = [c.random(3) for c in spawn_rng(ensure_rng(7), 3)]
+    for a, b in zip(first, second):
+        np.testing.assert_allclose(a, b)
+
+
+def test_spawn_rng_rejects_negative_count():
+    with pytest.raises(ValueError):
+        spawn_rng(ensure_rng(0), -1)
+
+
+def test_spawn_rng_zero_count_returns_empty_list():
+    assert spawn_rng(ensure_rng(0), 0) == []

@@ -1,0 +1,43 @@
+"""Tests for the plain-text table renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.tables import format_float, format_table
+
+
+def test_format_float_digits():
+    assert format_float(0.123456, 3) == "0.123"
+    assert format_float(2.0, 2) == "2.00"
+
+
+def test_format_table_contains_headers_and_rows():
+    text = format_table(["name", "value"], [["a", 1], ["b", 2]])
+    assert "name" in text and "value" in text
+    assert "a" in text and "b" in text
+    lines = text.splitlines()
+    assert len(lines) == 4  # header + separator + 2 rows
+
+
+def test_format_table_includes_title():
+    text = format_table(["x"], [[1]], title="My title")
+    assert text.splitlines()[0] == "My title"
+
+
+def test_format_table_formats_floats():
+    text = format_table(["v"], [[0.123456789]], float_digits=3)
+    assert "0.123" in text
+    assert "0.1234" not in text
+
+
+def test_format_table_rejects_mismatched_rows():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
+
+
+def test_format_table_alignment_is_consistent():
+    text = format_table(["col", "metric"], [["x", 1.0], ["longer", 2.0]])
+    lines = text.splitlines()
+    # All data lines have the same width because of the padding.
+    assert len(lines[0]) == len(lines[2]) == len(lines[3])

@@ -1,0 +1,48 @@
+"""Tests for argument validation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import (
+    check_in_choices,
+    check_positive_int,
+    check_probability,
+    check_unit_interval,
+)
+
+
+def test_check_positive_int_accepts_positive_values():
+    assert check_positive_int(5, "n") == 5
+
+
+@pytest.mark.parametrize("value", [0, -1, 2.5, "3", True])
+def test_check_positive_int_rejects_invalid_values(value):
+    with pytest.raises(ConfigurationError):
+        check_positive_int(value, "n")
+
+
+@pytest.mark.parametrize("value", [0.0, 0.5, 1.0, 1])
+def test_check_unit_interval_accepts_valid_values(value):
+    assert check_unit_interval(value, "theta") == pytest.approx(float(value))
+
+
+@pytest.mark.parametrize("value", [-0.1, 1.1, "abc", None])
+def test_check_unit_interval_rejects_invalid_values(value):
+    with pytest.raises(ConfigurationError):
+        check_unit_interval(value, "theta")
+
+
+def test_check_probability_rejects_boundaries():
+    with pytest.raises(ConfigurationError):
+        check_probability(0.0, "p")
+    with pytest.raises(ConfigurationError):
+        check_probability(1.0, "p")
+    assert check_probability(0.3, "p") == pytest.approx(0.3)
+
+
+def test_check_in_choices():
+    assert check_in_choices("dyn", "coverage", ["dyn", "stat"]) == "dyn"
+    with pytest.raises(ConfigurationError):
+        check_in_choices("bogus", "coverage", ["dyn", "stat"])
