@@ -1,0 +1,197 @@
+"""Throughput benchmark: per-user loop vs batched scoring engine.
+
+Measures ``recommend_all`` (blocked ``predict_matrix`` + 2-D selection)
+against the historical one-user-at-a-time loop for several recommenders, plus
+the batched GANC assignment phases, on the synthetic ML-1M-scale profile.
+Results are printed as a table and written to
+``benchmarks/output/bench_batch_scoring.txt``.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_batch_scoring.py             # full ML-1M scale
+    PYTHONPATH=src python benchmarks/bench_batch_scoring.py --scale 0.1 # CI smoke run
+
+The batched and per-user paths produce identical top-N collections (enforced
+here and by ``tests/test_batch_scoring.py``); the interesting number is the
+speedup, which the ISSUE targets at >= 5x for ``recommend_all``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.coverage.dynamic import DynamicCoverage
+from repro.coverage.static import StaticCoverage
+from repro.data.split import RatioSplitter
+from repro.data.synthetic import make_dataset
+from repro.ganc.locally_greedy import LocallyGreedyOptimizer
+from repro.ganc.oslg import OSLGOptimizer
+from repro.recommenders.base import Recommender
+from repro.recommenders.registry import make_recommender
+
+N = 5
+
+#: Recommenders benchmarked for recommend_all throughput.  RSVD is configured
+#: with few epochs — fitting time is irrelevant to the scoring benchmark.
+BENCH_MODELS: dict[str, dict] = {
+    "pop": {},
+    "rand": {},
+    "psvd100": {},
+    "rsvd": {"n_epochs": 3},
+    "itemknn": {},
+}
+
+
+def _loop_recommend_all(model: Recommender, n: int) -> np.ndarray:
+    out = np.full((model.train_data.n_users, n), -1, dtype=np.int64)
+    for user in range(model.train_data.n_users):
+        items = model.recommend(user, n)
+        out[user, : items.size] = items
+    return out
+
+
+def _time(fn, *, repeats: int = 1) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def bench_recommenders(train, repeats: int, lines: list[str]) -> list[float]:
+    n_users = train.n_users
+    speedups: list[float] = []
+    header = (
+        f"{'model':<10} {'loop_s':>9} {'batch_s':>9} {'speedup':>8} "
+        f"{'loop_u/s':>10} {'batch_u/s':>11}  equal"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, kwargs in BENCH_MODELS.items():
+        model = make_recommender(name, **kwargs).fit(train)
+        model.recommend_all(N)  # warm caches (CSR, user slices, BLAS)
+        loop_s, loop_items = _time(lambda: _loop_recommend_all(model, N), repeats=repeats)
+        batch_s, batch_top = _time(lambda: model.recommend_all(N), repeats=repeats)
+        equal = bool(np.array_equal(loop_items, batch_top.items))
+        speedup = loop_s / batch_s if batch_s > 0 else float("inf")
+        speedups.append(speedup)
+        lines.append(
+            f"{name:<10} {loop_s:>9.4f} {batch_s:>9.4f} {speedup:>7.1f}x "
+            f"{n_users / loop_s:>10.0f} {n_users / batch_s:>11.0f}  {equal}"
+        )
+    return speedups
+
+
+def bench_ganc(train, repeats: int, lines: list[str]) -> None:
+    theta = np.random.default_rng(0).random(train.n_users)
+    model = make_recommender("pop").fit(train)
+    model.recommend_all(N)
+
+    def accuracy(user: int) -> np.ndarray:
+        return model.unit_scores(user, N)
+
+    def accuracy_matrix(users: np.ndarray) -> np.ndarray:
+        return model.unit_scores_batch(users, N)
+
+    def exclusions(user: int) -> np.ndarray:
+        return train.user_items(user)
+
+    lines.append("")
+    header = f"{'ganc phase':<28} {'loop_s':>9} {'batch_s':>9} {'speedup':>8}  equal"
+    lines.append(header)
+    lines.append("-" * len(header))
+
+    # Independent branch: static coverage, whole assignment is batched.
+    optimizer = LocallyGreedyOptimizer(StaticCoverage().fit(train), N)
+    loop_s, seq = _time(
+        lambda: optimizer.run(theta, accuracy, exclusions, n_users=train.n_users),
+        repeats=repeats,
+    )
+    batch_s, blocked = _time(
+        lambda: optimizer.run_independent(
+            theta, accuracy_matrix, train.user_items_batch, n_users=train.n_users
+        ),
+        repeats=repeats,
+    )
+    equal = bool(np.array_equal(seq.items, blocked.items))
+    lines.append(
+        f"{'locally_greedy (Stat)':<28} {loop_s:>9.4f} {batch_s:>9.4f} "
+        f"{loop_s / batch_s:>7.1f}x  {equal}"
+    )
+
+    # OSLG snapshot phase: stacked per-user providers vs batched providers.
+    sample_size = max(min(500, train.n_users // 4), 1)
+    loop_s, a = _time(
+        lambda: OSLGOptimizer(
+            DynamicCoverage().fit(train), N, sample_size=sample_size, seed=1
+        ).run(theta, accuracy, exclusions),
+        repeats=repeats,
+    )
+    batch_s, b = _time(
+        lambda: OSLGOptimizer(
+            DynamicCoverage().fit(train), N, sample_size=sample_size, seed=1
+        ).run(
+            theta,
+            accuracy,
+            exclusions,
+            accuracy_matrix=accuracy_matrix,
+            exclusion_pairs=train.user_items_batch,
+        ),
+        repeats=repeats,
+    )
+    equal = bool(np.array_equal(a.top_n.items, b.top_n.items))
+    lines.append(
+        f"{'oslg (S=' + str(sample_size) + ', Dyn)':<28} {loop_s:>9.4f} {batch_s:>9.4f} "
+        f"{loop_s / batch_s:>7.1f}x  {equal}"
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--profile", default="ml1m", help="synthetic dataset profile")
+    parser.add_argument("--scale", type=float, default=1.0, help="dataset scale factor")
+    parser.add_argument("--repeats", type=int, default=3, help="timing repeats (best-of)")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="exit non-zero when the mean recommend_all speedup falls below this",
+    )
+    args = parser.parse_args()
+
+    dataset = make_dataset(args.profile, scale=args.scale)
+    train = RatioSplitter(0.8, seed=0).split(dataset).train
+
+    lines = [
+        f"batch scoring benchmark — profile={args.profile} scale={args.scale} "
+        f"({train.n_users} users x {train.n_items} items, {train.n_ratings} train ratings, "
+        f"top-{N})",
+        "",
+    ]
+    speedups = bench_recommenders(train, args.repeats, lines)
+    bench_ganc(train, args.repeats, lines)
+
+    mean_speedup = float(np.mean(speedups))
+    lines.append("")
+    lines.append(f"mean recommend_all speedup: {mean_speedup:.1f}x")
+
+    text = "\n".join(lines)
+    print(text)
+    out_dir = Path(__file__).parent / "output"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / "bench_batch_scoring.txt").write_text(text + "\n", encoding="utf-8")
+
+    if args.min_speedup and mean_speedup < args.min_speedup:
+        print(f"FAIL: mean speedup {mean_speedup:.1f}x < required {args.min_speedup}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,6 +32,19 @@ class CoverageRecommender(ABC):
     def scores(self, user: int) -> np.ndarray:
         """Coverage scores of all items for ``user`` (shape ``(n_items,)``)."""
 
+    def scores_matrix(self, users: np.ndarray) -> np.ndarray:
+        """Coverage score rows for a block of users, ``(len(users), n_items)``.
+
+        Stateless recommenders with user-independent scores override this
+        with a broadcast view; the returned array may therefore be read-only
+        and must not be mutated in place.  This fallback stacks per-user
+        :meth:`scores` rows.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        if users.size == 0:
+            return np.empty((0, self.n_items), dtype=np.float64)
+        return np.stack([np.asarray(self.scores(int(u)), dtype=np.float64) for u in users])
+
     @property
     def is_dynamic(self) -> bool:
         """Whether scores depend on the recommendations assigned so far."""

@@ -78,6 +78,21 @@ class DynamicCoverage(CoverageRecommender):
         return 1.0 / np.sqrt(self._frequencies + 1.0)
 
     @staticmethod
+    def snapshot_scores(frequencies: np.ndarray) -> np.ndarray:
+        """Coverage scores conditioned on explicit assignment counts.
+
+        Accepts any array of non-negative counts — a single ``(n_items,)``
+        snapshot or a stacked ``(B, n_items)`` block of snapshots — and
+        returns ``1 / sqrt(f + 1)`` elementwise, which is how the OSLG
+        snapshot-assignment phase scores whole blocks of non-sampled users
+        at once.
+        """
+        frequencies = np.asarray(frequencies, dtype=np.float64)
+        if frequencies.size and frequencies.min() < 0:
+            raise ConfigurationError("assignment frequencies cannot be negative")
+        return 1.0 / np.sqrt(frequencies + 1.0)
+
+    @staticmethod
     def gain(frequency: float) -> float:
         """Coverage gain of recommending an item already assigned ``frequency`` times."""
         if frequency < 0:

@@ -35,3 +35,9 @@ class StaticCoverage(CoverageRecommender):
         del user
         assert self._scores is not None, "fit must be called first"
         return self._scores
+
+    def scores_matrix(self, users: np.ndarray) -> np.ndarray:
+        """Read-only broadcast of the static row over the user block."""
+        assert self._scores is not None, "fit must be called first"
+        users = np.asarray(users, dtype=np.int64)
+        return np.broadcast_to(self._scores, (users.size, self.n_items))

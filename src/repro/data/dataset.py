@@ -287,6 +287,31 @@ class RatingDataset:
         rows = order[indptr[user]:indptr[user + 1]]
         return self._items[rows]
 
+    def user_items_batch(self, users: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Rated items of a block of users as flattened ``(row, item)`` pairs.
+
+        Returns ``(rows, items)`` where ``rows[j]`` is the *position of the
+        user within the block* (not the global user index) owning rated item
+        ``items[j]``.  This is the layout batched score paths need to mask a
+        ``(len(users), n_items)`` score block in one fancy-indexing operation.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        indptr, order = self._ensure_user_slices()
+        starts = indptr[users]
+        counts = indptr[users + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        rows = np.repeat(np.arange(users.size, dtype=np.int64), counts)
+        # Gather the ragged per-user slices of ``order`` without a Python loop:
+        # each output position offsets from its user's slice start.
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        items = self._items[order[np.repeat(starts, counts) + offsets]]
+        return rows, items
+
     def user_ratings(self, user: int) -> tuple[np.ndarray, np.ndarray]:
         """Return ``(item_indices, rating_values)`` for ``user``."""
         indptr, order = self._ensure_user_slices()

@@ -49,6 +49,11 @@ class Evaluator:
         Stratified-recall exponent (0.5).
     protocol:
         The ranking protocol used when evaluating raw recommenders.
+    block_size:
+        Users scored per matrix block when generating top-N sets (``None``
+        uses :data:`repro.utils.topn.DEFAULT_BLOCK_SIZE`); whole-table runs
+        therefore go through the batched ``predict_matrix`` path while peak
+        memory stays bounded.
     """
 
     split: TrainTestSplit
@@ -56,11 +61,14 @@ class Evaluator:
     relevance_threshold: float = 4.0
     beta: float = 0.5
     protocol: RankingProtocol = field(default_factory=AllUnratedItemsProtocol)
+    block_size: int | None = None
     _popularity: PopularityStats | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.n < 1:
             raise EvaluationError(f"n must be >= 1, got {self.n}")
+        if self.block_size is not None and self.block_size < 1:
+            raise EvaluationError(f"block_size must be >= 1, got {self.block_size}")
 
     @property
     def train(self) -> RatingDataset:
@@ -117,7 +125,9 @@ class Evaluator:
         """Fit (optionally) and evaluate a plain accuracy recommender."""
         if fit or not recommender.is_fitted:
             recommender.fit(self.train)
-        recs = self.protocol.top_n(recommender, self.train, self.test, self.n)
+        recs = self.protocol.top_n(
+            recommender, self.train, self.test, self.n, block_size=self.block_size
+        )
         return self.evaluate_recommendations(
             recs,
             algorithm=algorithm or type(recommender).__name__,

@@ -9,6 +9,11 @@ The protocol determines which items are ranked for each user at test time:
 * **Rated test-items** — rank only the user's observed test items.  This
   protocol strongly rewards popularity-biased algorithms; the appendix study
   (Figures 7-8) quantifies the difference.
+
+The all-unrated protocol runs on the batched scoring path (whole-table
+evaluations score users through ``predict_matrix`` blocks); the rated-test
+protocol stays candidate-restricted per user, since each user ranks only a
+handful of their own test items.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ import numpy as np
 from repro.data.dataset import RatingDataset
 from repro.exceptions import ConfigurationError
 from repro.recommenders.base import Recommender
+from repro.utils.topn import top_n_indices
 
 
 class RankingProtocol(ABC):
@@ -35,8 +41,13 @@ class RankingProtocol(ABC):
         train: RatingDataset,
         test: RatingDataset,
         n: int,
+        *,
+        block_size: int | None = None,
     ) -> dict[int, np.ndarray]:
-        """Return ``{user: top-N item array}`` under this protocol."""
+        """Return ``{user: top-N item array}`` under this protocol.
+
+        ``block_size`` bounds the number of users scored per matrix block.
+        """
 
 
 class AllUnratedItemsProtocol(RankingProtocol):
@@ -50,10 +61,12 @@ class AllUnratedItemsProtocol(RankingProtocol):
         train: RatingDataset,
         test: RatingDataset,
         n: int,
+        *,
+        block_size: int | None = None,
     ) -> dict[int, np.ndarray]:
-        """Delegate to the recommender's own train-excluding top-N logic."""
+        """Delegate to the recommender's own blocked train-excluding top-N."""
         del test  # the candidate pool ignores test information by design
-        result = recommender.recommend_all(n)
+        result = recommender.recommend_all(n, block_size=block_size)
         return result.as_dict()
 
 
@@ -68,9 +81,17 @@ class RatedTestItemsProtocol(RankingProtocol):
         train: RatingDataset,
         test: RatingDataset,
         n: int,
+        *,
+        block_size: int | None = None,
     ) -> dict[int, np.ndarray]:
-        """Score each user's test items and keep the best ``n`` of them."""
-        del train
+        """Score each user's test items and keep the best ``n`` of them.
+
+        Each user ranks only their own (small) test-candidate set, so scoring
+        stays candidate-restricted per user — computing full catalogue rows
+        here would be asymptotically wasteful for neighbourhood models.
+        ``block_size`` is accepted for interface symmetry but unused.
+        """
+        del train, block_size
         out: dict[int, np.ndarray] = {}
         for user in range(test.n_users):
             candidates = test.user_items(user)
@@ -78,10 +99,8 @@ class RatedTestItemsProtocol(RankingProtocol):
                 out[user] = np.empty(0, dtype=np.int64)
                 continue
             scores = recommender.predict_scores(user, candidates)
-            k = min(n, candidates.size)
-            top = np.argpartition(-scores, k - 1)[:k]
-            ordered = top[np.argsort(-scores[top], kind="stable")]
-            out[user] = candidates[ordered].astype(np.int64)
+            top = top_n_indices(scores, n)
+            out[user] = candidates[top].astype(np.int64)
         return out
 
 

@@ -59,17 +59,26 @@ class GANCConfig:
         ordering ablation.
     seed:
         Seed for the KDE sampling step.
+    block_size:
+        Number of users scored per block by the batched assignment paths
+        (``None`` uses :data:`repro.utils.topn.DEFAULT_BLOCK_SIZE`).  Peak
+        memory of the independent phases is ``O(block_size × n_items)``.
     """
 
     sample_size: int = 500
     optimizer: OptimizerName = "auto"
     theta_order: Literal["increasing", "decreasing", "arbitrary"] = "increasing"
     seed: SeedLike = None
+    block_size: int | None = None
 
     def __post_init__(self) -> None:
         if self.sample_size < 1:
             raise ConfigurationError(
                 f"sample_size must be >= 1, got {self.sample_size}"
+            )
+        if self.block_size is not None and self.block_size < 1:
+            raise ConfigurationError(
+                f"block_size must be >= 1, got {self.block_size}"
             )
         if self.optimizer not in ("auto", "oslg", "locally_greedy"):
             raise ConfigurationError(
@@ -178,7 +187,13 @@ class GANC:
         )
 
     def recommend_all(self, n: int) -> FittedTopN:
-        """Assign a top-``n`` set to every user by maximizing Eq. III.2."""
+        """Assign a top-``n`` set to every user by maximizing Eq. III.2.
+
+        All independent-user work — the whole assignment under stateless
+        coverage, and the snapshot phase of OSLG — runs through the batched
+        providers, i.e. as blocked matrix operations over
+        ``config.block_size`` users at a time.
+        """
         self._check_fitted()
         assert self._train is not None
         if n < 1:
@@ -188,8 +203,14 @@ class GANC:
         def accuracy_scores(user: int) -> np.ndarray:
             return self.accuracy.unit_scores(user, n)
 
+        def accuracy_matrix(users: np.ndarray) -> np.ndarray:
+            return self.accuracy.unit_scores_batch(users, n)
+
         def exclusions(user: int) -> np.ndarray:
             return train.user_items(user)
+
+        def exclusion_pairs(users: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            return train.user_items_batch(users)
 
         if self.coverage.is_dynamic:
             self.coverage.reset()
@@ -201,7 +222,14 @@ class GANC:
                     sample_size=self.config.sample_size,
                     seed=self.config.seed,
                 )
-                result = optimizer.run(self.theta, accuracy_scores, exclusions)
+                result = optimizer.run(
+                    self.theta,
+                    accuracy_scores,
+                    exclusions,
+                    accuracy_matrix=accuracy_matrix,
+                    exclusion_pairs=exclusion_pairs,
+                    block_size=self.config.block_size,
+                )
                 self.last_oslg_result_ = result
                 return result.top_n
             greedy = LocallyGreedyOptimizer(self.coverage, n)
@@ -214,14 +242,15 @@ class GANC:
                 n_users=train.n_users,
             )
 
-        # Static coverage: user value functions are independent; exact greedy
-        # per user is optimal.
+        # Static coverage: user value functions are independent, so the exact
+        # greedy assignment is a blocked 2-D top-N over the combined scores.
         greedy = LocallyGreedyOptimizer(self.coverage, n)
-        return greedy.run(
+        return greedy.run_independent(
             self.theta,
-            accuracy_scores,
-            exclusions,
+            accuracy_matrix,
+            exclusion_pairs,
             n_users=train.n_users,
+            block_size=self.config.block_size,
         )
 
     def recommend(self, user: int, n: int) -> np.ndarray:

@@ -14,6 +14,12 @@ prefer them and leaves fresher long-tail items for high-θ users.
 The complexity is ``O(|U| · |I| · N)`` in the worst case (per user, one pass
 over all items per greedy pick collapses to a single top-N selection because,
 within one user's set, item gains are independent of each other).
+
+With a *stateless* coverage recommender (Rand, Stat) the users do not interact
+at all, so the whole assignment is a batched 2-D operation:
+:meth:`LocallyGreedyOptimizer.run_independent` scores users in memory-bounded
+blocks and selects every block's top-N rows at once, producing exactly the
+same collection as the sequential loop.
 """
 
 from __future__ import annotations
@@ -24,12 +30,17 @@ import numpy as np
 
 from repro.coverage.base import CoverageRecommender
 from repro.exceptions import ConfigurationError
-from repro.ganc.value_function import combined_item_scores
+from repro.ganc.value_function import combined_item_scores, combined_score_matrix
 from repro.recommenders.base import FittedTopN
+from repro.utils.topn import iter_user_blocks, mask_pairs, top_n_indices, top_n_matrix
 
 
 AccuracyScoreProvider = Callable[[int], np.ndarray]
 ExclusionProvider = Callable[[int], np.ndarray]
+#: Batched providers: map a block of user indices to a ``(B, n_items)`` score
+#: block / to flattened ``(block_row, item)`` exclusion pairs.
+BatchAccuracyProvider = Callable[[np.ndarray], np.ndarray]
+BatchExclusionProvider = Callable[[np.ndarray], "tuple[np.ndarray, np.ndarray]"]
 
 
 class LocallyGreedyOptimizer:
@@ -97,6 +108,55 @@ class LocallyGreedyOptimizer:
                 self.coverage.update(items)
         return FittedTopN(items=out)
 
+    def run_independent(
+        self,
+        theta: np.ndarray,
+        accuracy_matrix: BatchAccuracyProvider,
+        exclusion_pairs: BatchExclusionProvider,
+        *,
+        n_users: int | None = None,
+        block_size: int | None = None,
+    ) -> FittedTopN:
+        """Blocked 2-D assignment for stateless (non-dynamic) coverage.
+
+        Because stateless coverage scores never change with assignments, the
+        users' value functions are mutually independent and whole blocks can
+        be scored and selected at once: one accuracy block, one (possibly
+        broadcast) coverage block, one fancy-indexed exclusion mask and one
+        row-wise top-N per ``block_size`` users.  The result matches
+        :meth:`run` exactly (same canonical tie-breaking).
+
+        Parameters
+        ----------
+        theta:
+            Per-user long-tail preferences in [0, 1].
+        accuracy_matrix:
+            Callable mapping a block of user indices to its ``(B, n_items)``
+            accuracy score block.
+        exclusion_pairs:
+            Callable mapping a block of user indices to flattened
+            ``(block_row, item)`` exclusion pairs (see
+            :meth:`repro.data.dataset.RatingDataset.user_items_batch`).
+        """
+        if self.coverage.is_dynamic:
+            raise ConfigurationError(
+                "run_independent requires a stateless coverage recommender; "
+                "dynamic coverage couples users and needs the sequential run()"
+            )
+        theta = np.asarray(theta, dtype=np.float64)
+        total_users = int(n_users if n_users is not None else theta.size)
+        out = np.empty((total_users, self.n), dtype=np.int64)
+        for users in iter_user_blocks(total_users, block_size):
+            values = combined_score_matrix(
+                accuracy_matrix(users),
+                self.coverage.scores_matrix(users),
+                theta[users],
+            )
+            rows, cols = exclusion_pairs(users)
+            mask_pairs(values, rows, cols)
+            out[users] = top_n_matrix(values, self.n)
+        return FittedTopN(items=out)
+
     def assign_user(
         self,
         user: int,
@@ -110,9 +170,4 @@ class LocallyGreedyOptimizer:
         if np.asarray(exclude).size:
             values = values.copy()
             values[np.asarray(exclude, dtype=np.int64)] = -np.inf
-        candidates = np.flatnonzero(np.isfinite(values))
-        if candidates.size == 0:
-            return np.empty(0, dtype=np.int64)
-        k = min(self.n, candidates.size)
-        top = candidates[np.argpartition(-values[candidates], k - 1)[:k]]
-        return top[np.argsort(-values[top], kind="stable")]
+        return top_n_indices(values, self.n)

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.utils.topn import top_n_indices
 
 
 def combined_item_scores(
@@ -39,6 +40,36 @@ def combined_item_scores(
             f"accuracy and coverage score vectors must align, got {acc.shape} vs {cov.shape}"
         )
     return (1.0 - theta) * acc + theta * cov
+
+
+def combined_score_matrix(
+    accuracy_scores: np.ndarray,
+    coverage_scores: np.ndarray,
+    theta: np.ndarray,
+) -> np.ndarray:
+    """Batched Eq. III.1: value rows for a block of users at once.
+
+    ``accuracy_scores`` and ``coverage_scores`` are ``(B, n_items)`` blocks
+    (either may be a broadcast view) and ``theta`` holds the block's B mixing
+    weights.  Row ``u`` equals ``combined_item_scores(acc[u], cov[u],
+    theta[u])`` exactly, since the scalar arithmetic is identical.
+    """
+    theta = np.asarray(theta, dtype=np.float64)
+    if theta.ndim != 1:
+        raise ConfigurationError(f"theta block must be 1-D, got shape {theta.shape}")
+    if theta.size and (theta.min() < 0.0 or theta.max() > 1.0):
+        raise ConfigurationError("theta values must lie in [0, 1]")
+    acc = np.asarray(accuracy_scores, dtype=np.float64)
+    cov = np.asarray(coverage_scores, dtype=np.float64)
+    if acc.ndim != 2 or acc.shape != cov.shape:
+        raise ConfigurationError(
+            f"score blocks must be 2-D and aligned, got {acc.shape} vs {cov.shape}"
+        )
+    if acc.shape[0] != theta.size:
+        raise ConfigurationError(
+            f"theta block must have one entry per row, got {theta.size} for {acc.shape}"
+        )
+    return (1.0 - theta)[:, None] * acc + theta[:, None] * cov
 
 
 @dataclass(frozen=True)
@@ -92,9 +123,4 @@ class UserValueFunction:
         if exclude is not None and np.asarray(exclude).size:
             values = values.copy()
             values[np.asarray(exclude, dtype=np.int64)] = -np.inf
-        candidates = np.flatnonzero(np.isfinite(values))
-        if candidates.size == 0:
-            return np.empty(0, dtype=np.int64)
-        k = min(n, candidates.size)
-        top = candidates[np.argpartition(-values[candidates], k - 1)[:k]]
-        return top[np.argsort(-values[top], kind="stable")]
+        return top_n_indices(values, n)

@@ -1,17 +1,26 @@
 """Common interface of all accuracy recommenders.
 
-Every model exposes two views of its predictions:
+The primary scoring contract is **batched**: models score a whole block of
+users at once and the per-user views are thin slices of the batch path.
 
-* ``predict_scores(user, items)`` — raw model scores (predicted ratings,
-  popularity counts, associations, ...), used for ranking;
-* ``unit_scores(user, n)`` — scores over *all* items mapped onto ``[0, 1]``
-  (per-user min-max normalization by default), used as the accuracy term
+* ``predict_matrix(users)`` — raw model scores (predicted ratings, popularity
+  counts, associations, ...) for every item, one row per requested user.
+  Each concrete model implements this with matrix products / broadcasting
+  instead of per-user loops.
+* ``unit_scores_batch(users, n)`` — the batch rows mapped onto ``[0, 1]``
+  (row-wise min-max normalization by default), used as the accuracy term
   ``a(i)`` of the GANC value function (Eq. III.1).  The non-personalized
   ``Pop`` recommender overrides this with binary top-N membership, exactly as
   the paper specifies.
+* ``predict_scores(user, items)`` / ``score_all_items(user)`` /
+  ``unit_scores(user, n)`` — single-user convenience views over the same
+  computations.
 
 ``recommend`` and ``recommend_all`` always exclude the user's train items so
-that top-N sets follow the "all unrated items" protocol.
+that top-N sets follow the "all unrated items" protocol; ``recommend_all``
+processes users in memory-bounded blocks (``O(block_size × |I|)`` peak) with
+row-wise 2-D selection, and uses the canonical stable tie-breaking of
+:mod:`repro.utils.topn` so batched and per-user results agree exactly.
 """
 
 from __future__ import annotations
@@ -23,7 +32,13 @@ import numpy as np
 
 from repro.data.dataset import RatingDataset
 from repro.exceptions import ConfigurationError, NotFittedError
-from repro.utils.normalization import min_max_normalize
+from repro.utils.normalization import normalize_rows
+from repro.utils.topn import (
+    iter_user_blocks,
+    mask_pairs,
+    top_n_indices,
+    top_n_matrix,
+)
 
 
 @dataclass(frozen=True)
@@ -107,21 +122,50 @@ class Recommender(ABC):
     def predict_scores(self, user: int, items: np.ndarray) -> np.ndarray:
         """Raw model scores of ``items`` for ``user`` (higher is better)."""
 
+    def _resolve_users(self, users: np.ndarray | None) -> np.ndarray:
+        """Normalize a ``users`` argument (``None`` means every user)."""
+        if users is None:
+            return np.arange(self.train_data.n_users, dtype=np.int64)
+        return np.atleast_1d(np.asarray(users, dtype=np.int64))
+
+    def predict_matrix(self, users: np.ndarray | None = None) -> np.ndarray:
+        """Raw score rows for a block of users, shape ``(len(users), n_items)``.
+
+        ``users=None`` scores every user.  The returned array is always a
+        fresh, writable float64 block.  Concrete models override this with a
+        genuinely vectorized computation; this fallback stacks per-user
+        ``predict_scores`` rows so third-party subclasses keep working.
+        """
+        self._check_fitted()
+        users = self._resolve_users(users)
+        n_items = self.train_data.n_items
+        if users.size == 0:
+            return np.empty((0, n_items), dtype=np.float64)
+        all_items = np.arange(n_items, dtype=np.int64)
+        return np.stack(
+            [
+                np.asarray(self.predict_scores(int(u), all_items), dtype=np.float64)
+                for u in users
+            ]
+        )
+
     def score_all_items(self, user: int) -> np.ndarray:
         """Raw scores of every item in the universe for ``user``."""
-        self._check_fitted()
-        all_items = np.arange(self.train_data.n_items, dtype=np.int64)
-        return self.predict_scores(user, all_items)
+        return self.predict_matrix(np.asarray([user], dtype=np.int64))[0]
 
-    def unit_scores(self, user: int, n: int) -> np.ndarray:
-        """Accuracy scores ``a(i)`` in ``[0, 1]`` over all items for ``user``.
+    def unit_scores_batch(self, users: np.ndarray | None, n: int) -> np.ndarray:
+        """Accuracy scores ``a(i)`` in ``[0, 1]``, one row per user in the block.
 
-        The default maps the raw score vector through per-user min-max
+        The default maps the raw score block through row-wise min-max
         normalization.  ``n`` is unused by score-based models but lets
         membership-based models (Pop) know the top-N size.
         """
         del n  # only membership-based recommenders need the top-N size
-        return min_max_normalize(self.score_all_items(user))
+        return normalize_rows(self.predict_matrix(users))
+
+    def unit_scores(self, user: int, n: int) -> np.ndarray:
+        """Single-user view of :meth:`unit_scores_batch`."""
+        return self.unit_scores_batch(np.asarray([user], dtype=np.int64), n)[0]
 
     # ------------------------------------------------------------------ #
     # Recommendation
@@ -132,34 +176,55 @@ class Recommender(ABC):
         n: int,
         *,
         exclude_items: np.ndarray | None = None,
+        scores: np.ndarray | None = None,
     ) -> np.ndarray:
         """Top-``n`` unseen items for ``user`` in decreasing score order.
 
-        ``exclude_items`` defaults to the user's train items.
+        ``exclude_items`` defaults to the user's train items.  ``scores``
+        lets callers that already hold the user's raw score row (e.g. a slice
+        of a :meth:`predict_matrix` block) skip recomputing it.
         """
         self._check_fitted()
         if n < 1:
             raise ConfigurationError(f"n must be >= 1, got {n}")
-        scores = self.score_all_items(user).astype(np.float64, copy=True)
+        if scores is None:
+            scores = self.score_all_items(user)
+        scores = np.asarray(scores, dtype=np.float64).copy()
         if exclude_items is None:
             exclude_items = self.train_data.user_items(user)
         if exclude_items.size:
             scores[np.asarray(exclude_items, dtype=np.int64)] = -np.inf
+        return top_n_indices(scores, n)
 
-        candidates = np.flatnonzero(np.isfinite(scores))
-        if candidates.size == 0:
-            return np.empty(0, dtype=np.int64)
-        k = min(n, candidates.size)
-        # Partial selection then exact ordering of the selected head.
-        top = candidates[np.argpartition(-scores[candidates], k - 1)[:k]]
-        return top[np.argsort(-scores[top], kind="stable")]
+    def recommend_block(self, users: np.ndarray, n: int) -> np.ndarray:
+        """Top-``n`` rows for a block of users (train items excluded).
 
-    def recommend_all(self, n: int) -> FittedTopN:
-        """Top-``n`` sets for every user (train items excluded)."""
+        Returns a ``(len(users), n)`` int64 array padded with ``-1``, computed
+        with one score-matrix evaluation, one fancy-indexed exclusion mask and
+        one row-wise 2-D selection.
+        """
         self._check_fitted()
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {n}")
+        users = np.asarray(users, dtype=np.int64)
+        scores = self.predict_matrix(users)
+        rows, cols = self.train_data.user_items_batch(users)
+        mask_pairs(scores, rows, cols)
+        return top_n_matrix(scores, n)
+
+    def recommend_all(self, n: int, *, block_size: int | None = None) -> FittedTopN:
+        """Top-``n`` sets for every user (train items excluded).
+
+        Users are processed in blocks of ``block_size`` (default
+        :data:`repro.utils.topn.DEFAULT_BLOCK_SIZE`) so peak memory stays
+        ``O(block_size × n_items)`` while the scoring itself runs as 2-D
+        array operations.
+        """
+        self._check_fitted()
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {n}")
         n_users = self.train_data.n_users
-        out = np.full((n_users, n), -1, dtype=np.int64)
-        for user in range(n_users):
-            items = self.recommend(user, n)
-            out[user, : items.size] = items
+        out = np.empty((n_users, n), dtype=np.int64)
+        for users in iter_user_blocks(n_users, block_size):
+            out[users] = self.recommend_block(users, n)
         return FittedTopN(items=out)

@@ -114,3 +114,10 @@ class CofiRank(Recommender):
         assert self.user_factors_ is not None and self.item_factors_ is not None
         items = np.asarray(items, dtype=np.int64)
         return self.global_mean_ + self.item_factors_[items] @ self.user_factors_[user]
+
+    def predict_matrix(self, users: np.ndarray | None = None) -> np.ndarray:
+        """Predicted rating rows for a block of users via one factor product."""
+        self._check_fitted()
+        assert self.user_factors_ is not None and self.item_factors_ is not None
+        users = self._resolve_users(users)
+        return self.global_mean_ + self.user_factors_[users] @ self.item_factors_.T

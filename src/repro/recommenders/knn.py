@@ -36,6 +36,7 @@ class ItemKNN(Recommender):
         self.k = int(k)
         self.shrinkage = float(shrinkage)
         self.similarity_: np.ndarray | None = None
+        self._abs_similarity: np.ndarray | None = None
 
     def fit(self, train: RatingDataset) -> "ItemKNN":
         """Compute the (dense) item-item cosine similarity matrix."""
@@ -56,6 +57,8 @@ class ItemKNN(Recommender):
                     threshold = np.partition(row, -self.k)[-self.k]
                     row[row < threshold] = 0.0
         self.similarity_ = similarity
+        # Cached for the batched score path's weight-mass product.
+        self._abs_similarity = np.abs(similarity)
         self._mark_fitted(train)
         return self
 
@@ -71,3 +74,22 @@ class ItemKNN(Recommender):
         weights = np.abs(sims).sum(axis=1)
         weights[weights == 0.0] = 1.0
         return (sims @ rated_values) / weights
+
+    def predict_matrix(self, users: np.ndarray | None = None) -> np.ndarray:
+        """Neighbour-weighted score rows via two sparse-dense products.
+
+        For a block of users with rating rows ``R`` (sparse) the numerator is
+        ``R @ S^T`` and the per-item weight is ``|R|_0 @ |S|^T`` (indicator
+        rows against absolute similarities), which reproduces the per-user
+        formula for every user of the block at once.
+        """
+        self._check_fitted()
+        assert self.similarity_ is not None and self._abs_similarity is not None
+        users = self._resolve_users(users)
+        block = self.train_data.to_csr()[users]
+        numerator = block @ self.similarity_.T
+        indicator = block.copy()
+        indicator.data = np.ones_like(indicator.data)
+        weights = indicator @ self._abs_similarity.T
+        weights[weights == 0.0] = 1.0
+        return np.asarray(numerator / weights, dtype=np.float64)

@@ -55,10 +55,21 @@ class MostPopular(Recommender):
         assert self._scores is not None
         return self._scores[np.asarray(items, dtype=np.int64)]
 
-    def unit_scores(self, user: int, n: int) -> np.ndarray:
-        """Binary top-N membership, as the paper defines ``a(i)`` for Pop."""
+    def predict_matrix(self, users: np.ndarray | None = None) -> np.ndarray:
+        """One identical popularity row per requested user."""
         self._check_fitted()
-        top = self.recommend(user, n)
-        scores = np.zeros(self.train_data.n_items, dtype=np.float64)
-        scores[top] = 1.0
+        users = self._resolve_users(users)
+        assert self._scores is not None
+        return np.tile(self._scores, (users.size, 1))
+
+    def unit_scores_batch(self, users: np.ndarray | None, n: int) -> np.ndarray:
+        """Binary top-N membership rows, as the paper defines ``a(i)`` for Pop."""
+        self._check_fitted()
+        users = self._resolve_users(users)
+        top = self.recommend_block(users, n)
+        scores = np.zeros((users.size, self.train_data.n_items), dtype=np.float64)
+        rows = np.repeat(np.arange(users.size), top.shape[1])
+        cols = top.ravel()
+        valid = cols >= 0
+        scores[rows[valid], cols[valid]] = 1.0
         return scores

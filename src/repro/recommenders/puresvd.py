@@ -61,3 +61,10 @@ class PureSVD(Recommender):
         assert self.user_factors_ is not None and self.item_factors_ is not None
         items = np.asarray(items, dtype=np.int64)
         return self.item_factors_[items] @ self.user_factors_[user]
+
+    def predict_matrix(self, users: np.ndarray | None = None) -> np.ndarray:
+        """Reconstruction rows ``(U_k Σ_k V_k^T)`` for a block of users."""
+        self._check_fitted()
+        assert self.user_factors_ is not None and self.item_factors_ is not None
+        users = self._resolve_users(users)
+        return self.user_factors_[users] @ self.item_factors_.T

@@ -43,3 +43,19 @@ class RandomRecommender(Recommender):
         """Uniform random scores for ``items`` (deterministic per user+seed)."""
         self._check_fitted()
         return self._user_scores(user)[np.asarray(items, dtype=np.int64)]
+
+    def predict_matrix(self, users: np.ndarray | None = None) -> np.ndarray:
+        """One uniform random row per user.
+
+        The per-user streams are what makes the model order-independent and
+        reproducible, so row generation is inherently per-user; the batch
+        path still amortizes all other per-call overhead, and each row is
+        bit-identical to the single-user stream.
+        """
+        self._check_fitted()
+        users = self._resolve_users(users)
+        n_items = self.train_data.n_items
+        out = np.empty((users.size, n_items), dtype=np.float64)
+        for row, user in enumerate(users):
+            out[row] = self._user_scores(int(user))
+        return out

@@ -219,16 +219,17 @@ class RSVD(Recommender):
             + self.item_factors_[items] @ self.user_factors_[user]
         )
 
-    def predict_matrix(self) -> np.ndarray:
-        """Dense matrix of predicted ratings ``R̂`` (users x items)."""
+    def predict_matrix(self, users: np.ndarray | None = None) -> np.ndarray:
+        """Predicted rating rows ``R̂`` for a block of users (all by default)."""
         self._check_fitted()
         assert self.user_factors_ is not None and self.item_factors_ is not None
         assert self.user_bias_ is not None and self.item_bias_ is not None
+        users = self._resolve_users(users)
         return (
             self.global_mean_
-            + self.user_bias_[:, None]
+            + self.user_bias_[users, None]
             + self.item_bias_[None, :]
-            + self.user_factors_ @ self.item_factors_.T
+            + self.user_factors_[users] @ self.item_factors_.T
         )
 
     def rmse(self, dataset: RatingDataset) -> float:

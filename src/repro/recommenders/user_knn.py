@@ -45,6 +45,8 @@ class UserKNN(Recommender):
         self.min_overlap = int(min_overlap)
         self.similarity_: np.ndarray | None = None
         self.user_means_: np.ndarray | None = None
+        self._centered = None
+        self._indicator = None
 
     def fit(self, train: RatingDataset) -> "UserKNN":
         """Compute the user-user similarity matrix from mean-centered ratings."""
@@ -79,6 +81,10 @@ class UserKNN(Recommender):
 
         self.similarity_ = similarity
         self.user_means_ = means
+        # Cache the mean-centered ratings and the binary rating indicator for
+        # the batched score path (both sparse, U x I).
+        self._centered = centered
+        self._indicator = binary
         self._mark_fitted(train)
         return self
 
@@ -110,3 +116,23 @@ class UserKNN(Recommender):
             centered = ratings - neighbour_means[raters]
             scores[position] = self.user_means_[user] + float(sims @ centered) / denom
         return scores
+
+    def predict_matrix(self, users: np.ndarray | None = None) -> np.ndarray:
+        """Neighbour predictions for a block of users via sparse products.
+
+        With the block's similarity rows ``W`` (dense, B x U), the deviation
+        numerator is ``W @ C`` against the cached mean-centered rating matrix
+        ``C`` and the weight mass is ``|W| @ B`` against the binary rating
+        indicator ``B``; items no neighbour rated fall back to the user mean.
+        """
+        self._check_fitted()
+        assert self.similarity_ is not None and self.user_means_ is not None
+        assert self._centered is not None and self._indicator is not None
+        users = self._resolve_users(users)
+        weights = self.similarity_[users]
+        numerator = np.asarray(weights @ self._centered, dtype=np.float64)
+        mass = np.asarray(np.abs(weights) @ self._indicator, dtype=np.float64)
+        deviation = np.divide(
+            numerator, mass, out=np.zeros_like(numerator), where=mass > 0.0
+        )
+        return self.user_means_[users, None] + deviation

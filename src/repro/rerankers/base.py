@@ -15,6 +15,7 @@ import numpy as np
 from repro.data.dataset import RatingDataset
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.recommenders.base import FittedTopN, Recommender
+from repro.utils.topn import top_n_indices
 
 
 class Reranker(ABC):
@@ -84,9 +85,4 @@ class Reranker(ABC):
     @staticmethod
     def _top_k(scores: np.ndarray, k: int) -> np.ndarray:
         """Indices of the ``k`` largest finite scores, best first."""
-        candidates = np.flatnonzero(np.isfinite(scores))
-        if candidates.size == 0:
-            return np.empty(0, dtype=np.int64)
-        k = min(k, candidates.size)
-        top = candidates[np.argpartition(-scores[candidates], k - 1)[:k]]
-        return top[np.argsort(-scores[top], kind="stable")]
+        return top_n_indices(scores, k)

@@ -38,6 +38,7 @@ from repro.data.popularity import PopularityStats
 from repro.exceptions import ConfigurationError
 from repro.recommenders.base import Recommender
 from repro.rerankers.base import Reranker
+from repro.utils.topn import top_n_indices
 from repro.utils.normalization import min_max_normalize
 
 
@@ -195,7 +196,5 @@ class ResourceAllocation5D(Reranker):
         else:
             aggregate = dims.mean(axis=0)
 
-        k = min(n, candidates.size)
-        top = np.argpartition(-aggregate, k - 1)[:k]
-        ordered = top[np.argsort(-aggregate[top], kind="stable")]
+        ordered = top_n_indices(aggregate, n)
         return candidates[ordered].astype(np.int64)

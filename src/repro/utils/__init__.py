@@ -1,9 +1,15 @@
-"""Small shared utilities: RNG handling, normalization, validation, tables."""
+"""Small shared utilities: RNG handling, normalization, top-N selection, tables."""
 
 from repro.utils.normalization import (
     min_max_normalize,
     normalize_rows,
     clip_unit_interval,
+)
+from repro.utils.topn import (
+    DEFAULT_BLOCK_SIZE,
+    iter_user_blocks,
+    top_n_indices,
+    top_n_matrix,
 )
 from repro.utils.rng import ensure_rng, spawn_rng
 from repro.utils.validation import (
@@ -19,6 +25,10 @@ __all__ = [
     "min_max_normalize",
     "normalize_rows",
     "clip_unit_interval",
+    "DEFAULT_BLOCK_SIZE",
+    "iter_user_blocks",
+    "top_n_indices",
+    "top_n_matrix",
     "ensure_rng",
     "spawn_rng",
     "check_positive_int",

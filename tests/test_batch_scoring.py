@@ -1,0 +1,304 @@
+"""Batch-vs-loop equivalence of the vectorized scoring engine.
+
+The batched paths (``predict_matrix`` / ``unit_scores_batch`` /
+``recommend_all`` / the GANC blocked phases) must reproduce the per-user
+paths exactly: identical top-N item ids (including ``-1`` padding rows and
+stable index tie-breaking) for every registered recommender and both GANC
+optimizers.  Raw float score surfaces are additionally checked to BLAS
+reproducibility (a batch-of-1 matrix product may differ from a batched one
+by a few ulp, which never changes the selected items).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coverage.dynamic import DynamicCoverage
+from repro.coverage.random import RandomCoverage
+from repro.coverage.static import StaticCoverage
+from repro.data.dataset import RatingDataset
+from repro.ganc.framework import GANC, GANCConfig
+from repro.ganc.locally_greedy import LocallyGreedyOptimizer
+from repro.ganc.oslg import OSLGOptimizer
+from repro.recommenders.base import Recommender
+from repro.recommenders.registry import RECOMMENDER_REGISTRY, make_recommender
+from repro.utils.topn import top_n_indices, top_n_matrix
+
+ALL_RECOMMENDERS = sorted(RECOMMENDER_REGISTRY)
+N = 5
+
+
+@pytest.fixture(scope="module")
+def fitted_models(small_split):
+    """Every registered recommender fitted once on the shared small split."""
+    return {
+        name: make_recommender(name).fit(small_split.train)
+        for name in ALL_RECOMMENDERS
+    }
+
+
+def _loop_recommend_all(model: Recommender, n: int) -> np.ndarray:
+    out = np.full((model.train_data.n_users, n), -1, dtype=np.int64)
+    for user in range(model.train_data.n_users):
+        items = model.recommend(user, n)
+        out[user, : items.size] = items
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Canonical selection helpers
+# --------------------------------------------------------------------- #
+def test_top_n_matrix_matches_top_n_indices_with_ties(rng):
+    # Integer-valued scores force many exact ties; sprinkle exclusions in.
+    scores = rng.integers(0, 4, size=(40, 60)).astype(np.float64)
+    scores[rng.random(scores.shape) < 0.3] = -np.inf
+    batch = top_n_matrix(scores, 7)
+    for row in range(scores.shape[0]):
+        expected = top_n_indices(scores[row], 7)
+        np.testing.assert_array_equal(batch[row, : expected.size], expected)
+        assert np.all(batch[row, expected.size :] == -1)
+
+
+def test_top_n_matrix_pads_rows_without_candidates():
+    scores = np.full((3, 4), -np.inf)
+    scores[1, 2] = 1.0
+    out = top_n_matrix(scores, 3)
+    np.testing.assert_array_equal(out[0], [-1, -1, -1])
+    np.testing.assert_array_equal(out[1], [2, -1, -1])
+
+
+def test_top_n_matrix_n_larger_than_items():
+    scores = np.array([[1.0, 3.0, 2.0]])
+    np.testing.assert_array_equal(top_n_matrix(scores, 5), [[1, 2, 0, -1, -1]])
+
+
+def test_user_items_batch_matches_per_user(small_split):
+    train = small_split.train
+    users = np.arange(train.n_users)
+    rows, items = train.user_items_batch(users)
+    for user in users:
+        np.testing.assert_array_equal(items[rows == user], train.user_items(int(user)))
+
+
+# --------------------------------------------------------------------- #
+# Recommender batch paths
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("name", ALL_RECOMMENDERS)
+def test_recommend_all_matches_per_user_loop(fitted_models, name):
+    model = fitted_models[name]
+    batch = model.recommend_all(N)
+    np.testing.assert_array_equal(batch.items, _loop_recommend_all(model, N))
+
+
+@pytest.mark.parametrize("name", ALL_RECOMMENDERS)
+def test_recommend_all_is_block_size_invariant(fitted_models, name):
+    model = fitted_models[name]
+    reference = model.recommend_all(N).items
+    for block_size in (1, 7, 64):
+        np.testing.assert_array_equal(
+            model.recommend_all(N, block_size=block_size).items, reference
+        )
+
+
+@pytest.mark.parametrize("name", ALL_RECOMMENDERS)
+def test_unit_scores_batch_matches_per_user(fitted_models, name):
+    model = fitted_models[name]
+    users = np.arange(model.train_data.n_users)
+    batch = model.unit_scores_batch(users, N)
+    loop = np.stack([model.unit_scores(int(u), N) for u in users])
+    assert batch.shape == loop.shape
+    # Bit-exact except for BLAS batch-of-1 vs batched kernel differences.
+    np.testing.assert_allclose(batch, loop, rtol=0.0, atol=1e-12)
+
+
+@pytest.mark.parametrize("name", ["pop", "rand", "itemknn", "userknn"])
+def test_unit_scores_batch_bit_exact_for_non_gemm_models(fitted_models, name):
+    model = fitted_models[name]
+    users = np.arange(model.train_data.n_users)
+    batch = model.unit_scores_batch(users, N)
+    loop = np.stack([model.unit_scores(int(u), N) for u in users])
+    np.testing.assert_array_equal(batch, loop)
+
+
+@pytest.mark.parametrize("name", ALL_RECOMMENDERS)
+def test_predict_matrix_matches_base_fallback(fitted_models, name):
+    model = fitted_models[name]
+    users = np.arange(0, model.train_data.n_users, 3)
+    vectorized = model.predict_matrix(users)
+    fallback = Recommender.predict_matrix(model, users)
+    np.testing.assert_allclose(vectorized, fallback, rtol=0.0, atol=1e-12)
+
+
+def test_recommend_accepts_precomputed_scores(fitted_models):
+    model = fitted_models["psvd10"]
+    user = 4
+    row = model.predict_matrix(np.asarray([user]))[0]
+    np.testing.assert_array_equal(
+        model.recommend(user, N, scores=row), model.recommend(user, N)
+    )
+    # The precomputed row is not mutated by the exclusion masking.
+    assert np.all(np.isfinite(row))
+
+
+def test_padding_rows_match_when_candidates_run_out():
+    # User 0 rates 5 of 6 items: asking for n=4 leaves a single candidate
+    # and three -1 padding slots on both paths.
+    triples = [(0, i, 4.0) for i in range(5)] + [(1, 0, 3.0), (1, 5, 2.0)]
+    data = RatingDataset.from_interactions(triples)
+    model = make_recommender("pop").fit(data)
+    batch = model.recommend_all(4)
+    np.testing.assert_array_equal(batch.items, _loop_recommend_all(model, 4))
+    assert np.array_equal(batch.items[0][1:], [-1, -1, -1])
+
+
+def test_tie_breaking_prefers_lower_item_index(tiny_dataset):
+    class ConstantScores(Recommender):
+        def fit(self, train):
+            self._mark_fitted(train)
+            return self
+
+        def predict_scores(self, user, items):
+            return np.zeros(np.asarray(items).size, dtype=np.float64)
+
+    model = ConstantScores().fit(tiny_dataset)
+    batch = model.recommend_all(3)
+    np.testing.assert_array_equal(batch.items, _loop_recommend_all(model, 3))
+    # All scores equal: user 3 rated {0, 4, 5}, so the lowest unseen indices win.
+    np.testing.assert_array_equal(batch.items[3], [1, 2, 3])
+
+
+# --------------------------------------------------------------------- #
+# GANC optimizers
+# --------------------------------------------------------------------- #
+def _unit_providers(model, train, n):
+    def accuracy(user: int) -> np.ndarray:
+        return model.unit_scores(user, n)
+
+    def exclusions(user: int) -> np.ndarray:
+        return train.user_items(user)
+
+    return accuracy, exclusions
+
+
+@pytest.mark.parametrize("coverage_factory", [StaticCoverage, RandomCoverage])
+@pytest.mark.parametrize("name", ["pop", "psvd10", "rsvd"])
+def test_independent_branch_matches_sequential_loop(small_split, fitted_models, name, coverage_factory):
+    train = small_split.train
+    model = fitted_models[name]
+    coverage = coverage_factory().fit(train)
+    rng = np.random.default_rng(5)
+    theta = rng.random(train.n_users)
+    accuracy, exclusions = _unit_providers(model, train, N)
+    optimizer = LocallyGreedyOptimizer(coverage, N)
+
+    batched = optimizer.run_independent(
+        theta,
+        lambda users: model.unit_scores_batch(users, N),
+        train.user_items_batch,
+        n_users=train.n_users,
+        block_size=17,
+    )
+    sequential = optimizer.run(theta, accuracy, exclusions, n_users=train.n_users)
+    np.testing.assert_array_equal(batched.items, sequential.items)
+
+
+def test_run_independent_rejects_dynamic_coverage(small_split, fitted_models):
+    train = small_split.train
+    coverage = DynamicCoverage().fit(train)
+    optimizer = LocallyGreedyOptimizer(coverage, N)
+    from repro.exceptions import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        optimizer.run_independent(
+            np.zeros(train.n_users),
+            lambda users: np.zeros((users.size, train.n_items)),
+            train.user_items_batch,
+        )
+
+
+@pytest.mark.parametrize("name", ["pop", "psvd10"])
+def test_oslg_snapshot_phase_matches_per_user_reference(small_split, fitted_models, name):
+    train = small_split.train
+    model = fitted_models[name]
+    rng = np.random.default_rng(9)
+    theta = rng.random(train.n_users)
+    accuracy, exclusions = _unit_providers(model, train, N)
+
+    batched = OSLGOptimizer(DynamicCoverage().fit(train), N, sample_size=20, seed=3).run(
+        theta,
+        accuracy,
+        exclusions,
+        accuracy_matrix=lambda users: model.unit_scores_batch(users, N),
+        exclusion_pairs=train.user_items_batch,
+        block_size=13,
+    )
+
+    # Per-user reference: identical sequential pass (same seed), then the
+    # historical one-user-at-a-time snapshot assignment.
+    reference_optimizer = OSLGOptimizer(DynamicCoverage().fit(train), N, sample_size=20, seed=3)
+    sampled = batched.sampled_users
+    out = np.full((train.n_users, N), -1, dtype=np.int64)
+    coverage = reference_optimizer.coverage
+    greedy = LocallyGreedyOptimizer(coverage, N)
+    for user in sampled:
+        items = greedy.assign_user(
+            int(user), float(theta[user]), accuracy(int(user)), exclusions(int(user))
+        )
+        out[user, : items.size] = items
+        coverage.update(items)
+    np.testing.assert_array_equal(out[sampled], batched.top_n.items[sampled])
+
+    sampled_theta = theta[sampled]
+    remaining = np.setdiff1d(np.arange(train.n_users), sampled)
+    for user in remaining:
+        nearest = int(np.argmin(np.abs(sampled_theta - theta[user])))
+        items = reference_optimizer._assign_with_snapshot(
+            int(user),
+            float(theta[user]),
+            accuracy(int(user)),
+            exclusions(int(user)),
+            batched.snapshots[nearest],
+        )
+        out[user, : items.size] = items
+    np.testing.assert_array_equal(out, batched.top_n.items)
+
+
+def test_oslg_batched_providers_match_stacked_fallback(small_split, fitted_models):
+    train = small_split.train
+    model = fitted_models["pop"]
+    rng = np.random.default_rng(11)
+    theta = rng.random(train.n_users)
+    accuracy, exclusions = _unit_providers(model, train, N)
+
+    with_batch = OSLGOptimizer(DynamicCoverage().fit(train), N, sample_size=15, seed=4).run(
+        theta,
+        accuracy,
+        exclusions,
+        accuracy_matrix=lambda users: model.unit_scores_batch(users, N),
+        exclusion_pairs=train.user_items_batch,
+    )
+    fallback = OSLGOptimizer(DynamicCoverage().fit(train), N, sample_size=15, seed=4).run(
+        theta, accuracy, exclusions
+    )
+    np.testing.assert_array_equal(with_batch.top_n.items, fallback.top_n.items)
+
+
+@pytest.mark.parametrize("coverage_name", ["static", "dynamic"])
+def test_ganc_facade_block_size_invariance(small_split, coverage_name):
+    train = small_split.train
+    theta = np.random.default_rng(2).random(train.n_users)
+
+    def build(block_size):
+        coverage = StaticCoverage() if coverage_name == "static" else DynamicCoverage()
+        ganc = GANC(
+            make_recommender("pop"),
+            theta,
+            coverage,
+            config=GANCConfig(sample_size=25, seed=0, block_size=block_size),
+        )
+        return ganc.fit(train).recommend_all(N).items
+
+    reference = build(None)
+    np.testing.assert_array_equal(build(9), reference)
+    np.testing.assert_array_equal(build(1), reference)
