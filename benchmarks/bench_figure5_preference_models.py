@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from conftest import run_once
 
-from repro.experiments.figure5 import informed_vs_uninformed_gap, run_figure5
+from repro.experiments.figure5 import run_figure5
 
 
 def test_figure5_preference_model_interplay(benchmark, bench_scale, bench_sample_size, save_table):

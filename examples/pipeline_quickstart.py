@@ -1,0 +1,91 @@
+"""Pipeline API quickstart: declare a run, execute it, persist it, serve it.
+
+Runs in a few seconds on a laptop:
+
+    python examples/pipeline_quickstart.py
+
+Steps
+-----
+1. Declare GANC(PSVD100, θG, Dyn) on an ML-100K-shaped surrogate as a
+   :class:`PipelineSpec` — no component is constructed by hand; every name
+   resolves through the unified ``repro.registry``.
+2. Round-trip the spec through JSON (what ``python -m repro run --config``
+   consumes) and show both directions agree.
+3. Fit the pipeline and evaluate the accuracy / novelty / coverage profile
+   against the bare accuracy recommender declared by a second, minimal spec.
+4. Save the fitted pipeline (spec JSON + fitted arrays) and reload it:
+   the reloaded pipeline serves byte-identical top-5 sets without refitting.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.pipeline import ComponentSpec, DatasetSpec, Pipeline, PipelineSpec, ganc_spec
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    # 1. Declare the run.  ganc_spec is shorthand for the nested PipelineSpec.
+    spec = ganc_spec(
+        dataset="ml100k",
+        arec="psvd100",
+        theta="thetaG",
+        coverage="dyn",
+        n=5,
+        sample_size=150,
+        scale=0.5,
+        seed=0,
+    )
+
+    # 2. Specs are plain JSON; `python -m repro run --config <file>` executes them.
+    document = spec.to_json()
+    assert PipelineSpec.from_json(document) == spec
+    print("Pipeline spec (JSON):")
+    print(document)
+
+    # 3. Fit and evaluate, next to the bare accuracy recommender.
+    pipeline = Pipeline(spec).fit()
+    ganc_run = pipeline.evaluate()
+
+    bare_spec = PipelineSpec(
+        recommender=ComponentSpec("psvd100"),
+        dataset=DatasetSpec(key="ml100k", scale=0.5),
+        seed=0,
+    )
+    bare_run = Pipeline(bare_spec).fit(pipeline.split).evaluate()
+
+    rows = []
+    for run in (bare_run, ganc_run):
+        report = run.report
+        rows.append(
+            [run.algorithm, report.f_measure, report.lt_accuracy, report.coverage, report.gini]
+        )
+    print(
+        format_table(
+            ["Algorithm", "F-measure@5", "LTAccuracy@5", "Coverage@5", "Gini@5"],
+            rows,
+            title="Accuracy / novelty / coverage trade-off (top-5)",
+        )
+    )
+
+    # 4. Train once, serve many: persist the fitted pipeline and reload it.
+    with tempfile.TemporaryDirectory() as tmp:
+        artifact = Path(tmp) / "ml100k-ganc"
+        pipeline.save(artifact)
+        served = Pipeline.load(artifact)
+        original_top5 = pipeline.recommend_all().items
+        served_top5 = served.recommend_all().items
+        assert np.array_equal(original_top5, served_top5)
+        print(
+            f"\nSaved to {artifact.name}/ (spec.json + split.npz + state.npz) and "
+            "reloaded: top-5 sets are byte-identical, no model was refitted."
+        )
+        print(f"Top-5 for user 0, served from the artifact: {served.recommend(0)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,4 +1,4 @@
-"""Quickstart: build GANC on a MovieLens-like dataset and inspect the trade-off.
+"""Quickstart: run GANC on a MovieLens-like dataset and inspect the trade-off.
 
 Runs in a few seconds on a laptop:
 
@@ -9,23 +9,27 @@ Steps
 1. Generate a popularity-biased synthetic dataset shaped like ML-100K
    (swap in ``load_movielens_100k("path/to/u.data")`` if you have the real file).
 2. Split it per user with the paper's κ = 0.5 protocol.
-3. Estimate every user's long-tail novelty preference θG from the train data.
-4. Assemble GANC(PureSVD, θG, Dyn) and produce top-5 sets for every user.
-5. Compare its accuracy / novelty / coverage profile against the bare
+3. Declare GANC(PureSVD, θG, Dyn) as a :class:`PipelineSpec` — components are
+   resolved by registry name, never wired by hand — and fit it on the split.
+4. Compare its accuracy / novelty / coverage profile against the bare
    accuracy recommender and the Pop baseline.
+
+See ``examples/pipeline_quickstart.py`` for the JSON round-trip and the
+save/load (train-once/serve-many) workflow of the same API.
 """
 
 from __future__ import annotations
 
 from repro import (
-    GANC,
-    GANCConfig,
-    DynamicCoverage,
+    ComponentSpec,
+    DatasetSpec,
+    EvaluationSpec,
     Evaluator,
-    GeneralizedPreference,
-    MostPopular,
-    PureSVD,
+    GANCSpec,
+    Pipeline,
+    PipelineSpec,
     make_dataset,
+    make_recommender,
     split_ratings,
 )
 from repro.utils.tables import format_table
@@ -40,20 +44,26 @@ def main() -> None:
     split = split_ratings(dataset, train_ratio=0.5, seed=0)
     evaluator = Evaluator(split, n=5)
 
-    # 3. + 4. GANC(PureSVD, thetaG, Dyn) with OSLG optimization.
-    preference = GeneralizedPreference()
-    ganc = GANC(
-        PureSVD(n_factors=30),
-        preference,
-        DynamicCoverage(),
-        config=GANCConfig(sample_size=150, seed=0),
+    # 3. GANC(PureSVD, thetaG, Dyn) with OSLG optimization, declared as a spec.
+    spec = PipelineSpec(
+        dataset=DatasetSpec(key="ml100k", scale=0.5),
+        recommender=ComponentSpec("psvd", params={"n_factors": 30}),
+        preference=ComponentSpec("thetaG"),
+        coverage=ComponentSpec("dyn"),
+        ganc=GANCSpec(sample_size=150),
+        evaluation=EvaluationSpec(n=5),
+        seed=0,
     )
-    ganc.fit(split.train)
-    ganc_run = evaluator.evaluate_recommendations(ganc.recommend_all(5), algorithm=ganc.template)
+    pipeline = Pipeline(spec).fit(split)
+    ganc_run = evaluator.evaluate_recommendations(
+        pipeline.recommend_all(), algorithm=pipeline.algorithm
+    )
 
-    # 5. Reference points: the bare accuracy recommender and Pop.
-    psvd_run = evaluator.evaluate_recommender(PureSVD(n_factors=30), algorithm="PureSVD")
-    pop_run = evaluator.evaluate_recommender(MostPopular(), algorithm="Pop")
+    # 4. Reference points: the bare accuracy recommender and Pop.
+    psvd_run = evaluator.evaluate_recommender(
+        make_recommender("psvd", n_factors=30), algorithm="PureSVD"
+    )
+    pop_run = evaluator.evaluate_recommender(make_recommender("pop"), algorithm="Pop")
 
     rows = []
     for run in (pop_run, psvd_run, ganc_run):
@@ -76,7 +86,7 @@ def main() -> None:
         )
     )
     print()
-    theta = ganc.theta
+    theta = pipeline.model.theta
     print(
         "Estimated long-tail preference thetaG: "
         f"mean={theta.mean():.3f}, std={theta.std():.3f}, "

@@ -59,9 +59,20 @@ from repro.rerankers import (
     RankingBasedTechnique,
     ResourceAllocation5D,
     PersonalizedRankingAdaptation,
+    make_reranker,
 )
 from repro.metrics import MetricReport, evaluate_top_n
 from repro.evaluation import Evaluator, AllUnratedItemsProtocol, RatedTestItemsProtocol
+from repro.registry import available, create, register
+from repro.pipeline import (
+    Pipeline,
+    PipelineSpec,
+    ComponentSpec,
+    DatasetSpec,
+    EvaluationSpec,
+    GANCSpec,
+    ganc_spec,
+)
 
 __version__ = "1.0.0"
 
@@ -111,10 +122,23 @@ __all__ = [
     "RankingBasedTechnique",
     "ResourceAllocation5D",
     "PersonalizedRankingAdaptation",
+    "make_reranker",
     # evaluation
     "MetricReport",
     "evaluate_top_n",
     "Evaluator",
     "AllUnratedItemsProtocol",
     "RatedTestItemsProtocol",
+    # component registry
+    "register",
+    "create",
+    "available",
+    # pipeline API
+    "Pipeline",
+    "PipelineSpec",
+    "ComponentSpec",
+    "DatasetSpec",
+    "EvaluationSpec",
+    "GANCSpec",
+    "ganc_spec",
 ]

@@ -1,6 +1,6 @@
 """Command-line interface for the GANC reproduction.
 
-Exposes the experiment harness and the core pipeline without writing Python:
+Exposes the experiment harness and the pipeline API without writing Python:
 
 .. code-block:: console
 
@@ -9,10 +9,16 @@ Exposes the experiment harness and the core pipeline without writing Python:
     python -m repro table4 --datasets ml100k --scale 0.3 --output out.txt
     python -m repro figure6 --scale 0.3
     python -m repro recommend --dataset ml100k --arec psvd100 --theta thetaG --coverage dyn
+    python -m repro recommend --dataset ml100k --dump-spec spec.json
+    python -m repro run --config spec.json --save-pipeline artifacts/ml100k
+    python -m repro run --load-pipeline artifacts/ml100k
     python -m repro ablation-oslg --dataset ml1m
 
 Every experiment subcommand prints the same rows the paper's corresponding
-table/figure reports and optionally writes them to ``--output``.
+table/figure reports and optionally writes them to ``--output``.  The
+``recommend`` subcommand is sugar over a :class:`~repro.pipeline.PipelineSpec`
+(``--dump-spec`` writes the equivalent JSON); ``run`` executes any spec file
+and can persist/serve fitted pipelines.
 """
 
 from __future__ import annotations
@@ -22,11 +28,9 @@ import sys
 from pathlib import Path
 from typing import Callable, Sequence
 
-from repro.coverage.registry import make_coverage
 from repro.data.io import save_recommendations_csv
-from repro.evaluation.evaluator import Evaluator
 from repro.experiments.ablations import run_ordering_ablation, run_oslg_vs_greedy
-from repro.experiments.datasets import EXPERIMENT_DATASETS, load_experiment_split
+from repro.experiments.datasets import EXPERIMENT_DATASETS
 from repro.experiments.figure1 import run_figure1
 from repro.experiments.figure2 import run_figure2
 from repro.experiments.figure3_4 import run_figure3, run_figure4
@@ -34,12 +38,18 @@ from repro.experiments.figure5 import run_figure5
 from repro.experiments.figure6 import run_figure6
 from repro.experiments.figure7_8 import run_figure7_8
 from repro.experiments.report_writer import ReportConfig, generate_report, write_report
-from repro.experiments.runner import ExperimentTable, build_accuracy_recommender
+from repro.experiments.runner import ExperimentTable
 from repro.experiments.table2 import run_table2
 from repro.experiments.table4 import run_table4
 from repro.experiments.table5 import run_table5
-from repro.ganc.framework import GANC, GANCConfig
-from repro.preferences.registry import make_preference_model
+from repro.pipeline import (
+    ComponentSpec,
+    DatasetSpec,
+    EvaluationSpec,
+    GANCSpec,
+    Pipeline,
+    PipelineSpec,
+)
 from repro.utils.tables import format_table
 
 
@@ -57,6 +67,14 @@ def _add_common_arguments(parser: argparse.ArgumentParser, *, with_datasets: boo
     parser.add_argument("--scale", type=float, default=0.35, help="surrogate dataset scale factor")
     parser.add_argument("--seed", type=int, default=0, help="split / sampling seed")
     parser.add_argument("--output", type=str, default=None, help="write the rendered table to this file")
+    parser.add_argument(
+        "--block-size",
+        type=int,
+        default=None,
+        help="users scored per matrix block in the batched paths "
+        "(default: repro.utils.topn.DEFAULT_BLOCK_SIZE); peak memory is "
+        "O(block_size x n_items)",
+    )
     if with_datasets:
         parser.add_argument(
             "--datasets",
@@ -86,7 +104,8 @@ def _cmd_figure2(args: argparse.Namespace) -> int:
 
 def _cmd_figure3(args: argparse.Namespace) -> int:
     _, table = run_figure3(
-        sample_sizes=tuple(args.sample_sizes), scale=args.scale, seed=args.seed
+        sample_sizes=tuple(args.sample_sizes), scale=args.scale, seed=args.seed,
+        block_size=args.block_size,
     )
     _emit(table, args.output)
     return 0
@@ -94,7 +113,8 @@ def _cmd_figure3(args: argparse.Namespace) -> int:
 
 def _cmd_figure4(args: argparse.Namespace) -> int:
     _, table = run_figure4(
-        sample_sizes=tuple(args.sample_sizes), scale=args.scale, seed=args.seed
+        sample_sizes=tuple(args.sample_sizes), scale=args.scale, seed=args.seed,
+        block_size=args.block_size,
     )
     _emit(table, args.output)
     return 0
@@ -107,6 +127,7 @@ def _cmd_figure5(args: argparse.Namespace) -> int:
         sample_size=args.sample_size,
         scale=args.scale,
         seed=args.seed,
+        block_size=args.block_size,
     )
     _emit(table, args.output)
     return 0
@@ -114,7 +135,8 @@ def _cmd_figure5(args: argparse.Namespace) -> int:
 
 def _cmd_table4(args: argparse.Namespace) -> int:
     _, table = run_table4(
-        datasets=args.datasets, scale=args.scale, sample_size=args.sample_size, seed=args.seed
+        datasets=args.datasets, scale=args.scale, sample_size=args.sample_size,
+        seed=args.seed, block_size=args.block_size,
     )
     _emit(table, args.output)
     return 0
@@ -122,7 +144,8 @@ def _cmd_table4(args: argparse.Namespace) -> int:
 
 def _cmd_figure6(args: argparse.Namespace) -> int:
     _, table = run_figure6(
-        datasets=args.datasets, scale=args.scale, sample_size=args.sample_size, seed=args.seed
+        datasets=args.datasets, scale=args.scale, sample_size=args.sample_size,
+        seed=args.seed, block_size=args.block_size,
     )
     _emit(table, args.output)
     return 0
@@ -136,20 +159,27 @@ def _cmd_table5(args: argparse.Namespace) -> int:
 
 def _cmd_figure7_8(args: argparse.Namespace) -> int:
     _, table = run_figure7_8(
-        datasets=tuple(args.datasets or ("ml100k", "ml1m")), scale=args.scale, seed=args.seed
+        datasets=tuple(args.datasets or ("ml100k", "ml1m")), scale=args.scale,
+        seed=args.seed, block_size=args.block_size,
     )
     _emit(table, args.output)
     return 0
 
 
 def _cmd_ablation_oslg(args: argparse.Namespace) -> int:
-    _, table = run_oslg_vs_greedy(dataset_key=args.dataset, scale=args.scale, seed=args.seed)
+    _, table = run_oslg_vs_greedy(
+        dataset_key=args.dataset, scale=args.scale, seed=args.seed,
+        block_size=args.block_size,
+    )
     _emit(table, args.output)
     return 0
 
 
 def _cmd_ablation_ordering(args: argparse.Namespace) -> int:
-    _, table = run_ordering_ablation(dataset_key=args.dataset, scale=args.scale, seed=args.seed)
+    _, table = run_ordering_ablation(
+        dataset_key=args.dataset, scale=args.scale, seed=args.seed,
+        block_size=args.block_size,
+    )
     _emit(table, args.output)
     return 0
 
@@ -172,28 +202,82 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _spec_from_recommend_args(args: argparse.Namespace) -> PipelineSpec:
+    """The :class:`PipelineSpec` equivalent of a ``recommend`` invocation."""
+    return PipelineSpec(
+        dataset=DatasetSpec(key=args.dataset, scale=args.scale),
+        recommender=ComponentSpec(args.arec),
+        preference=ComponentSpec(args.theta),
+        coverage=ComponentSpec(args.coverage),
+        ganc=GANCSpec(sample_size=args.sample_size, block_size=args.block_size),
+        evaluation=EvaluationSpec(n=args.n, block_size=args.block_size),
+        seed=args.seed,
+    )
+
+
+def _run_pipeline(
+    pipeline: Pipeline,
+    *,
+    dataset_label: str,
+    output: str | None,
+    save_recommendations: str | None,
+    save_pipeline: str | None,
+) -> int:
+    """Shared recommend/run tail: serve, score, print and persist."""
+    recommendations = pipeline.recommend_all()
+    report = pipeline.evaluate(recommendations).report
+
+    n = pipeline.spec.evaluation.n
+    rows = [[metric, value] for metric, value in report.as_dict().items()]
+    text = format_table(
+        ["metric", "value"], rows,
+        title=f"{pipeline.algorithm} on {dataset_label} (top-{n})",
+    )
+    print(text)
+    if output:
+        path = Path(output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\nwritten to {path}")
+
+    if save_recommendations:
+        path = save_recommendations_csv(recommendations.as_dict(), save_recommendations)
+        print(f"\nrecommendations written to {path}")
+    if save_pipeline:
+        directory = pipeline.save(save_pipeline)
+        print(f"\nfitted pipeline saved to {directory}")
+    return 0
+
+
 def _cmd_recommend(args: argparse.Namespace) -> int:
     """Run one GANC configuration end to end and report its metrics."""
-    _, split = load_experiment_split(args.dataset, scale=args.scale, seed=args.seed)
-    arec = build_accuracy_recommender(args.arec, seed=args.seed, scale_hint=args.scale)
-    preference = make_preference_model(args.theta, seed=args.seed)
-    coverage = make_coverage(args.coverage, seed=args.seed)
-    sample_size = max(1, min(args.sample_size, split.train.n_users))
+    spec = _spec_from_recommend_args(args)
+    if args.dump_spec:
+        path = spec.to_json_file(args.dump_spec)
+        print(f"pipeline spec written to {path}")
+    pipeline = Pipeline(spec).fit()
+    return _run_pipeline(
+        pipeline,
+        dataset_label=spec.dataset.key,
+        output=args.output,
+        save_recommendations=args.save_recommendations,
+        save_pipeline=args.save_pipeline,
+    )
 
-    model = GANC(arec, preference, coverage, config=GANCConfig(sample_size=sample_size, seed=args.seed))
-    model.fit(split.train)
-    recommendations = model.recommend_all(args.n)
 
-    evaluator = Evaluator(split, n=args.n)
-    report = evaluator.evaluate_recommendations(recommendations, algorithm=model.template).report
-
-    rows = [[metric, value] for metric, value in report.as_dict().items()]
-    print(format_table(["metric", "value"], rows, title=f"{model.template} on {args.dataset} (top-{args.n})"))
-
-    if args.save_recommendations:
-        path = save_recommendations_csv(recommendations.as_dict(), args.save_recommendations)
-        print(f"\nrecommendations written to {path}")
-    return 0
+def _cmd_run(args: argparse.Namespace) -> int:
+    """Execute a pipeline spec file (or serve a saved fitted pipeline)."""
+    if args.load_pipeline:
+        pipeline = Pipeline.load(args.load_pipeline)
+    else:
+        pipeline = Pipeline.from_json_file(args.config).fit()
+    return _run_pipeline(
+        pipeline,
+        dataset_label=pipeline.spec.dataset.key,
+        output=args.output,
+        save_recommendations=args.save_recommendations,
+        save_pipeline=args.save_pipeline,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -265,7 +349,34 @@ def build_parser() -> argparse.ArgumentParser:
     recommend.add_argument(
         "--save-recommendations", type=str, default=None, help="write the top-N sets to this CSV file"
     )
+    recommend.add_argument(
+        "--dump-spec", type=str, default=None,
+        help="write the equivalent pipeline spec JSON to this file",
+    )
+    recommend.add_argument(
+        "--save-pipeline", type=str, default=None,
+        help="save the fitted pipeline (spec + arrays) to this directory",
+    )
     recommend.set_defaults(handler=_cmd_recommend)
+
+    run = subparsers.add_parser(
+        "run", help="execute a pipeline spec JSON (or serve a saved fitted pipeline)"
+    )
+    source = run.add_mutually_exclusive_group(required=True)
+    source.add_argument("--config", type=str, default=None, help="pipeline spec JSON file")
+    source.add_argument(
+        "--load-pipeline", type=str, default=None,
+        help="directory of a fitted pipeline saved with --save-pipeline",
+    )
+    run.add_argument("--output", type=str, default=None, help="write the metric table to this file")
+    run.add_argument(
+        "--save-recommendations", type=str, default=None, help="write the top-N sets to this CSV file"
+    )
+    run.add_argument(
+        "--save-pipeline", type=str, default=None,
+        help="save the fitted pipeline (spec + arrays) to this directory",
+    )
+    run.set_defaults(handler=_cmd_run)
 
     return parser
 

@@ -8,9 +8,10 @@ import numpy as np
 
 from repro.data.dataset import RatingDataset
 from repro.exceptions import NotFittedError
+from repro.registry import ParamsMixin
 
 
-class CoverageRecommender(ABC):
+class CoverageRecommender(ParamsMixin, ABC):
     """Supplies per-item coverage scores ``c(i) ∈ [0, 1]``.
 
     Stateless recommenders (Rand, Stat) return the same scores for every user;

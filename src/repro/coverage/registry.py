@@ -1,32 +1,28 @@
-"""Name-based construction of coverage recommenders."""
+"""Coverage-recommender registrations in the unified component registry."""
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from typing import Mapping
 
 from repro.coverage.base import CoverageRecommender
 from repro.coverage.dynamic import DynamicCoverage
 from repro.coverage.random import RandomCoverage
 from repro.coverage.static import StaticCoverage
-from repro.exceptions import ConfigurationError
+from repro.registry import create, legacy_view, register
 
-CoverageFactory = Callable[..., CoverageRecommender]
-
-COVERAGE_REGISTRY: Mapping[str, CoverageFactory] = {
-    "rand": lambda **kw: RandomCoverage(seed=kw.get("seed", None)),
-    "random": lambda **kw: RandomCoverage(seed=kw.get("seed", None)),
-    "stat": lambda **kw: StaticCoverage(),
-    "static": lambda **kw: StaticCoverage(),
-    "dyn": lambda **kw: DynamicCoverage(),
-    "dynamic": lambda **kw: DynamicCoverage(),
-}
+register("coverage", "rand", aliases=("random",))(RandomCoverage)
+register("coverage", "stat", aliases=("static",))(StaticCoverage)
+register("coverage", "dyn", aliases=("dynamic",))(DynamicCoverage)
 
 
 def make_coverage(name: str, **kwargs: object) -> CoverageRecommender:
-    """Instantiate a coverage recommender from its (case-insensitive) name."""
-    key = name.strip().lower()
-    if key not in COVERAGE_REGISTRY:
-        raise ConfigurationError(
-            f"unknown coverage recommender {name!r}; available: {sorted(COVERAGE_REGISTRY)}"
-        )
-    return COVERAGE_REGISTRY[key](**kwargs)
+    """Instantiate a coverage recommender from its (case-insensitive) name.
+
+    Unknown hyper-parameters raise :class:`ConfigurationError`; the reserved
+    ``seed`` kwarg is threaded to Rand and dropped for the seedless models.
+    """
+    return create("coverage", name, **kwargs)
+
+
+#: Name → factory view of the registered coverage recommenders.
+COVERAGE_REGISTRY: Mapping[str, object] = legacy_view("coverage")

@@ -23,7 +23,7 @@ preserved, so sparse-vs-dense comparisons behave like the paper's.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Mapping
 
 import numpy as np

@@ -15,12 +15,11 @@ import time
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.coverage.dynamic import DynamicCoverage
 from repro.evaluation.evaluator import Evaluator
 from repro.experiments.datasets import load_experiment_split
 from repro.experiments.runner import ExperimentTable, build_accuracy_recommender
-from repro.ganc.framework import GANC, GANCConfig
 from repro.metrics.report import MetricReport
+from repro.pipeline import Pipeline, ganc_spec
 from repro.preferences.generalized import GeneralizedPreference
 from repro.utils.rng import SeedLike
 
@@ -42,10 +41,11 @@ def run_oslg_vs_greedy(
     sample_sizes: Sequence[int] = (50, 100, 250),
     scale: float = 1.0,
     seed: SeedLike = 0,
+    block_size: int | None = None,
 ) -> tuple[list[AblationRow], ExperimentTable]:
     """Compare OSLG at several sample sizes against the exact sequential pass."""
     _, split = load_experiment_split(dataset_key, scale=scale, seed=seed)
-    evaluator = Evaluator(split, n=n)
+    evaluator = Evaluator(split, n=n, block_size=block_size)
     theta = GeneralizedPreference().estimate(split.train)
     arec = build_accuracy_recommender(arec_name, seed=seed, scale_hint=scale)
     arec.fit(split.train)
@@ -56,23 +56,22 @@ def run_oslg_vs_greedy(
         headers=["Configuration", "F-measure@N", "Coverage@N", "Gini@N", "seconds"],
     )
 
-    configurations: list[tuple[str, GANCConfig]] = [
-        (
-            "LocallyGreedy (exact)",
-            GANCConfig(sample_size=split.train.n_users, optimizer="locally_greedy", seed=seed),
-        )
-    ]
-    for requested in sample_sizes:
-        effective = max(1, min(int(requested), split.train.n_users))
-        configurations.append(
-            (f"OSLG S={requested}", GANCConfig(sample_size=effective, optimizer="oslg", seed=seed))
+    def spec_for(sample_size: int, optimizer: str):
+        return ganc_spec(
+            dataset=dataset_key, arec=arec_name, theta="thetaG", coverage="dyn",
+            n=n, sample_size=sample_size, optimizer=optimizer, scale=scale,
+            seed=seed, block_size=block_size,
         )
 
-    for label, config in configurations:
-        model = GANC(arec, theta, DynamicCoverage(), config=config)
-        model.fit(split.train)
+    configurations = [("LocallyGreedy (exact)", spec_for(split.train.n_users, "locally_greedy"))]
+    for requested in sample_sizes:
+        effective = max(1, min(int(requested), split.train.n_users))
+        configurations.append((f"OSLG S={requested}", spec_for(effective, "oslg")))
+
+    for label, spec in configurations:
+        pipeline = Pipeline(spec, recommender=arec, preference=theta).fit(split)
         started = time.perf_counter()
-        recommendations = model.recommend_all(n)
+        recommendations = pipeline.recommend_all()
         elapsed = time.perf_counter() - started
         run = evaluator.evaluate_recommendations(recommendations, algorithm=label)
         rows.append(AblationRow(configuration=label, report=run.report, seconds=elapsed))
@@ -89,10 +88,11 @@ def run_ordering_ablation(
     n: int = 5,
     scale: float = 1.0,
     seed: SeedLike = 0,
+    block_size: int | None = None,
 ) -> tuple[list[AblationRow], ExperimentTable]:
     """Compare increasing / arbitrary / decreasing θ orderings of the sequential pass."""
     _, split = load_experiment_split(dataset_key, scale=scale, seed=seed)
-    evaluator = Evaluator(split, n=n)
+    evaluator = Evaluator(split, n=n, block_size=block_size)
     theta = GeneralizedPreference().estimate(split.train)
     arec = build_accuracy_recommender(arec_name, seed=seed, scale_hint=scale)
     arec.fit(split.train)
@@ -103,16 +103,14 @@ def run_ordering_ablation(
         headers=["Ordering", "F-measure@N", "Coverage@N", "Gini@N", "seconds"],
     )
     for ordering in ("increasing", "arbitrary", "decreasing"):
-        config = GANCConfig(
-            sample_size=split.train.n_users,
-            optimizer="locally_greedy",
-            theta_order=ordering,  # type: ignore[arg-type]
-            seed=seed,
+        spec = ganc_spec(
+            dataset=dataset_key, arec=arec_name, theta="thetaG", coverage="dyn",
+            n=n, sample_size=split.train.n_users, optimizer="locally_greedy",
+            theta_order=ordering, scale=scale, seed=seed, block_size=block_size,
         )
-        model = GANC(arec, theta, DynamicCoverage(), config=config)
-        model.fit(split.train)
+        pipeline = Pipeline(spec, recommender=arec, preference=theta).fit(split)
         started = time.perf_counter()
-        recommendations = model.recommend_all(n)
+        recommendations = pipeline.recommend_all()
         elapsed = time.perf_counter() - started
         run = evaluator.evaluate_recommendations(recommendations, algorithm=f"order={ordering}")
         rows.append(AblationRow(configuration=ordering, report=run.report, seconds=elapsed))

@@ -12,11 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.coverage.dynamic import DynamicCoverage
 from repro.evaluation.evaluator import Evaluator
 from repro.experiments.datasets import load_experiment_split
 from repro.experiments.runner import ExperimentTable, build_accuracy_recommender
-from repro.ganc.framework import GANC, GANCConfig
+from repro.pipeline import Pipeline, ganc_spec
 from repro.preferences.generalized import GeneralizedPreference
 from repro.utils.rng import SeedLike
 
@@ -42,6 +41,7 @@ def run_sample_size_sweep(
     n: int = 5,
     scale: float = 1.0,
     seed: SeedLike = 0,
+    block_size: int | None = None,
 ) -> tuple[list[SampleSizePoint], ExperimentTable]:
     """Sweep the OSLG sample size for GANC(ARec, θG, Dyn) on one dataset.
 
@@ -49,7 +49,7 @@ def run_sample_size_sweep(
     scaled-down) surrogate dataset, preserving the sweep's shape.
     """
     _, split = load_experiment_split(dataset_key, scale=scale, seed=seed)
-    evaluator = Evaluator(split, n=n)
+    evaluator = Evaluator(split, n=n, block_size=block_size)
     theta = GeneralizedPreference().estimate(split.train)
 
     points: list[SampleSizePoint] = []
@@ -63,15 +63,14 @@ def run_sample_size_sweep(
         arec.fit(split.train)
         for requested in sample_sizes:
             sample_size = max(1, min(int(requested), n_users))
-            model = GANC(
-                arec,
-                theta,
-                DynamicCoverage(),
-                config=GANCConfig(sample_size=sample_size, optimizer="oslg", seed=seed),
+            spec = ganc_spec(
+                dataset=dataset_key, arec=arec_name, theta="thetaG", coverage="dyn",
+                n=n, sample_size=sample_size, optimizer="oslg", scale=scale,
+                seed=seed, block_size=block_size,
             )
-            model.fit(split.train)
+            pipeline = Pipeline(spec, recommender=arec, preference=theta).fit(split)
             run = evaluator.evaluate_recommendations(
-                model.recommend_all(n), algorithm=f"GANC({arec_name}, thetaG, Dyn) S={requested}"
+                pipeline.recommend_all(), algorithm=f"GANC({arec_name}, thetaG, Dyn) S={requested}"
             )
             point = SampleSizePoint(
                 accuracy_recommender=arec_name,
@@ -90,6 +89,7 @@ def run_figure3(
     accuracy_recommenders: Sequence[str] = FIGURE3_ARECS,
     scale: float = 1.0,
     seed: SeedLike = 0,
+    block_size: int | None = None,
 ) -> tuple[list[SampleSizePoint], ExperimentTable]:
     """Figure 3: the sweep on the ML-1M surrogate."""
     return run_sample_size_sweep(
@@ -98,6 +98,7 @@ def run_figure3(
         accuracy_recommenders=accuracy_recommenders,
         scale=scale,
         seed=seed,
+        block_size=block_size,
     )
 
 
@@ -107,6 +108,7 @@ def run_figure4(
     accuracy_recommenders: Sequence[str] = FIGURE3_ARECS,
     scale: float = 1.0,
     seed: SeedLike = 0,
+    block_size: int | None = None,
 ) -> tuple[list[SampleSizePoint], ExperimentTable]:
     """Figure 4: the sweep on the MT-200K surrogate."""
     return run_sample_size_sweep(
@@ -115,4 +117,5 @@ def run_figure4(
         accuracy_recommenders=accuracy_recommenders,
         scale=scale,
         seed=seed,
+        block_size=block_size,
     )

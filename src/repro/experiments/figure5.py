@@ -22,12 +22,11 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.coverage.dynamic import DynamicCoverage
 from repro.evaluation.evaluator import Evaluator
 from repro.experiments.datasets import load_experiment_split
 from repro.experiments.runner import ExperimentTable, build_accuracy_recommender
-from repro.ganc.framework import GANC, GANCConfig
 from repro.metrics.report import MetricReport
+from repro.pipeline import Pipeline, ganc_spec
 from repro.preferences.base import PreferenceResult
 from repro.preferences.generalized import GeneralizedPreference
 from repro.preferences.simple import (
@@ -73,6 +72,7 @@ def run_figure5(
     sample_size: int = 500,
     scale: float = 1.0,
     seed: SeedLike = 0,
+    block_size: int | None = None,
 ) -> tuple[list[Figure5Cell], ExperimentTable]:
     """Regenerate the Figure 5 panels (as rows of a long-format table)."""
     _, split = load_experiment_split(dataset_key, scale=scale, seed=seed)
@@ -90,10 +90,12 @@ def run_figure5(
     )
 
     for arec_name in accuracy_recommenders:
+        # One fitted accuracy recommender (and one estimated θ vector per
+        # model) is shared across every spec that references it.
         arec = build_accuracy_recommender(arec_name, seed=seed, scale_hint=scale)
         arec.fit(split.train)
         for n in n_values:
-            evaluator = Evaluator(split, n=int(n))
+            evaluator = Evaluator(split, n=int(n), block_size=block_size)
             # Reference row: the accuracy recommender on its own.
             reference = evaluator.evaluate_recommender(arec, algorithm=arec_name, fit=False)
             cells.append(
@@ -108,15 +110,16 @@ def run_figure5(
                 ]
             )
             for theta_name in preference_models:
-                model = GANC(
-                    arec,
-                    thetas[theta_name],
-                    DynamicCoverage(),
-                    config=GANCConfig(sample_size=sample_size, optimizer="oslg", seed=seed),
+                spec = ganc_spec(
+                    dataset=dataset_key, arec=arec_name, theta=theta_name,
+                    coverage="dyn", n=int(n), sample_size=sample_size,
+                    optimizer="oslg", scale=scale, seed=seed, block_size=block_size,
                 )
-                model.fit(split.train)
+                pipeline = Pipeline(
+                    spec, recommender=arec, preference=thetas[theta_name]
+                ).fit(split)
                 run = evaluator.evaluate_recommendations(
-                    model.recommend_all(int(n)),
+                    pipeline.recommend_all(),
                     algorithm=f"GANC({arec_name}, {theta_name}, Dyn)",
                 )
                 cells.append(Figure5Cell(arec_name, theta_name, int(n), run.report))

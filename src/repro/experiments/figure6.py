@@ -14,16 +14,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.coverage.dynamic import DynamicCoverage
-from repro.coverage.random import RandomCoverage
-from repro.coverage.static import StaticCoverage
 from repro.evaluation.evaluator import Evaluator
 from repro.experiments.datasets import EXPERIMENT_DATASETS, load_experiment_split
 from repro.experiments.runner import ExperimentTable, build_accuracy_recommender
-from repro.ganc.framework import GANC, GANCConfig
 from repro.metrics.report import MetricReport
+from repro.pipeline import Pipeline, ganc_spec
 from repro.preferences.generalized import GeneralizedPreference
-from repro.rerankers.pra import PersonalizedRankingAdaptation
+from repro.rerankers.registry import make_reranker
 from repro.utils.rng import SeedLike
 
 #: Standard top-N algorithms Figure 6 includes alongside the GANC variants.
@@ -67,11 +64,12 @@ def run_figure6_for_dataset(
     sample_size: int = 500,
     seed: SeedLike = 0,
     baselines: Sequence[str] = FIGURE6_BASELINES,
+    block_size: int | None = None,
 ) -> list[Figure6Point]:
     """Evaluate every Figure 6 algorithm on one dataset."""
     spec = EXPERIMENT_DATASETS[dataset_key]
     _, split = load_experiment_split(dataset_key, scale=scale, seed=seed)
-    evaluator = Evaluator(split, n=n)
+    evaluator = Evaluator(split, n=n, block_size=block_size)
     points: list[Figure6Point] = []
 
     # Standard top-N baselines.
@@ -85,7 +83,7 @@ def run_figure6_for_dataset(
     arec = build_accuracy_recommender(arec_name, seed=seed, scale_hint=scale)
     arec.fit(split.train)
 
-    pra = PersonalizedRankingAdaptation(arec, exchangeable_size=10, max_steps=20, seed=seed)
+    pra = make_reranker("pra", base=arec, exchangeable_size=10, max_steps=20, seed=seed)
     pra.fit(split.train)
     run = evaluator.evaluate_recommendations(
         pra.recommend_all(n), algorithm=f"PRA({arec_name}, 10)"
@@ -93,22 +91,15 @@ def run_figure6_for_dataset(
     points.append(Figure6Point(spec.title, f"PRA({arec_name}, 10)", run.report))
 
     theta = GeneralizedPreference().estimate(split.train)
-    effective_sample = max(1, min(sample_size, split.train.n_users))
-    coverage_variants = {
-        "Dyn": DynamicCoverage(),
-        "Stat": StaticCoverage(),
-        "Rand": RandomCoverage(seed=seed),
-    }
-    for coverage_name, coverage in coverage_variants.items():
-        model = GANC(
-            arec,
-            theta,
-            coverage,
-            config=GANCConfig(sample_size=effective_sample, optimizer="auto", seed=seed),
+    for coverage_label, coverage_name in (("Dyn", "dyn"), ("Stat", "stat"), ("Rand", "rand")):
+        pipeline_spec = ganc_spec(
+            dataset=dataset_key, arec=arec_name, theta="thetaG",
+            coverage=coverage_name, n=n, sample_size=sample_size,
+            optimizer="auto", scale=scale, seed=seed, block_size=block_size,
         )
-        model.fit(split.train)
-        label = f"GANC({arec_name}, thetaG, {coverage_name})"
-        run = evaluator.evaluate_recommendations(model.recommend_all(n), algorithm=label)
+        pipeline = Pipeline(pipeline_spec, recommender=arec, preference=theta).fit(split)
+        label = f"GANC({arec_name}, thetaG, {coverage_label})"
+        run = evaluator.evaluate_recommendations(pipeline.recommend_all(), algorithm=label)
         points.append(Figure6Point(spec.title, label, run.report))
     return points
 
@@ -121,6 +112,7 @@ def run_figure6(
     sample_size: int = 500,
     seed: SeedLike = 0,
     baselines: Sequence[str] = FIGURE6_BASELINES,
+    block_size: int | None = None,
 ) -> tuple[list[Figure6Point], ExperimentTable]:
     """Regenerate the Figure 6 scatter data across datasets."""
     keys = list(datasets) if datasets is not None else list(EXPERIMENT_DATASETS)
@@ -131,7 +123,8 @@ def run_figure6(
     )
     for key in keys:
         dataset_points = run_figure6_for_dataset(
-            key, n=n, scale=scale, sample_size=sample_size, seed=seed, baselines=baselines
+            key, n=n, scale=scale, sample_size=sample_size, seed=seed,
+            baselines=baselines, block_size=block_size,
         )
         points.extend(dataset_points)
         for point in dataset_points:

@@ -52,6 +52,7 @@ def run_protocol_comparison(
     n: int = 5,
     scale: float = 1.0,
     seed: SeedLike = 0,
+    block_size: int | None = None,
 ) -> list[ProtocolPoint]:
     """Evaluate the algorithm panel under both protocols on one dataset."""
     spec = EXPERIMENT_DATASETS[dataset_key]
@@ -65,7 +66,7 @@ def run_protocol_comparison(
         model = build_accuracy_recommender(name, seed=seed, scale_hint=scale)
         model.fit(split.train)
         for protocol_name, protocol in protocols.items():
-            evaluator = Evaluator(split, n=n, protocol=protocol)
+            evaluator = Evaluator(split, n=n, protocol=protocol, block_size=block_size)
             run = evaluator.evaluate_recommender(model, algorithm=name, fit=False)
             points.append(
                 ProtocolPoint(
@@ -85,6 +86,7 @@ def run_figure7_8(
     n: int = 5,
     scale: float = 1.0,
     seed: SeedLike = 0,
+    block_size: int | None = None,
 ) -> tuple[list[ProtocolPoint], ExperimentTable]:
     """Regenerate the Figures 7-8 protocol comparison."""
     points: list[ProtocolPoint] = []
@@ -97,7 +99,7 @@ def run_figure7_8(
     )
     for key in datasets:
         dataset_points = run_protocol_comparison(
-            key, algorithms=algorithms, n=n, scale=scale, seed=seed
+            key, algorithms=algorithms, n=n, scale=scale, seed=seed, block_size=block_size
         )
         points.extend(dataset_points)
         for point in dataset_points:

@@ -1,9 +1,10 @@
 """Shared utilities of the experiment harness.
 
-Provides the result containers every experiment returns (tables and series),
-construction helpers for the accuracy recommenders the paper plugs into GANC,
+Provides the result containers every experiment returns (tables and series)
 and the rank-aggregation logic Table IV uses to compute per-algorithm average
-ranks.
+ranks.  Accuracy recommenders are built through the unified
+:mod:`repro.registry`; :func:`build_accuracy_recommender` remains as the
+harness-flavored entry point (seed + surrogate rank scaling).
 """
 
 from __future__ import annotations
@@ -16,11 +17,7 @@ import numpy as np
 from repro.exceptions import ConfigurationError
 from repro.metrics.report import MetricReport
 from repro.recommenders.base import Recommender
-from repro.recommenders.cofirank import CofiRank
-from repro.recommenders.popularity import MostPopular
-from repro.recommenders.puresvd import PureSVD
-from repro.recommenders.random import RandomRecommender
-from repro.recommenders.rsvd import RSVD
+from repro.recommenders.registry import make_recommender
 from repro.utils.rng import SeedLike
 from repro.utils.tables import format_table
 
@@ -82,40 +79,12 @@ def build_accuracy_recommender(
 ) -> Recommender:
     """Build an accuracy recommender by the short name the paper uses.
 
-    The latent dimensionalities follow the paper (PSVD10/PSVD100, CofiR100,
-    RSVD with cross-validated factors).  ``scale_hint`` is the surrogate
-    dataset's scale factor: the SVD-family ranks are scaled with it so that
-    the factors-to-items ratio stays comparable to the paper's full-size
-    datasets (a 100-factor PureSVD on a 300-item surrogate would otherwise
-    reconstruct the zero-imputed matrix almost exactly and lose all
-    generalization).
+    Thin delegate to the unified component registry: the paper's experiment
+    hyper-parameters and the surrogate rank scaling (``scale_hint``) are the
+    registry entries' defaults, so this helper is just
+    ``make_recommender(name, seed=seed, scale_hint=scale_hint)``.
     """
-    key = name.strip().lower()
-    rank_scale = min(max(scale_hint, 0.05), 1.0)
-
-    def _scaled_rank(requested: int, *, minimum: int = 3) -> int:
-        return max(minimum, int(round(requested * rank_scale)))
-
-    if key == "pop":
-        return MostPopular()
-    if key == "rand":
-        return RandomRecommender(seed=seed)
-    if key == "rsvd":
-        return RSVD(n_factors=20, n_epochs=30, learning_rate=0.02, reg=0.05, seed=seed)
-    if key == "rsvdn":
-        return RSVD(
-            n_factors=20, n_epochs=30, learning_rate=0.02, reg=0.05,
-            non_negative=True, seed=seed,
-        )
-    if key.startswith("psvd"):
-        requested = int(key.removeprefix("psvd"))
-        return PureSVD(n_factors=_scaled_rank(requested))
-    if key.startswith("cofir"):
-        requested = int(key.removeprefix("cofir"))
-        return CofiRank(
-            n_factors=_scaled_rank(requested, minimum=5), reg=10.0, n_iterations=3, seed=seed
-        )
-    raise ConfigurationError(f"unknown accuracy recommender name {name!r}")
+    return make_recommender(name, seed=seed, scale_hint=scale_hint)
 
 
 # --------------------------------------------------------------------------- #

@@ -17,7 +17,6 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
-from repro.coverage.dynamic import DynamicCoverage
 from repro.data.split import TrainTestSplit
 from repro.evaluation.evaluator import Evaluator
 from repro.experiments.datasets import EXPERIMENT_DATASETS, load_experiment_split
@@ -28,14 +27,10 @@ from repro.experiments.runner import (
     build_accuracy_recommender,
     metric_ranks,
 )
-from repro.ganc.framework import GANC, GANCConfig
 from repro.metrics.report import MetricReport
-from repro.preferences.generalized import GeneralizedPreference
-from repro.preferences.simple import TfidfPreference
+from repro.pipeline import Pipeline, ganc_spec
 from repro.recommenders.base import Recommender
-from repro.rerankers.pra import PersonalizedRankingAdaptation
-from repro.rerankers.rbt import RankingBasedTechnique
-from repro.rerankers.resource_allocation import ResourceAllocation5D
+from repro.rerankers.registry import make_reranker
 from repro.utils.rng import SeedLike
 
 
@@ -60,8 +55,9 @@ def _base_ranking(base: Recommender, split: TrainTestSplit, n: int, seed: SeedLi
 
 def _five_d(base, split, n, seed, *, accuracy_filtering=False, rank_by_rankings=False):
     del seed
-    reranker = ResourceAllocation5D(
-        base,
+    reranker = make_reranker(
+        "5d",
+        base=base,
         accuracy_filtering=accuracy_filtering,
         rank_by_rankings=rank_by_rankings,
     )
@@ -71,8 +67,9 @@ def _five_d(base, split, n, seed, *, accuracy_filtering=False, rank_by_rankings=
 
 def _rbt(base, split, n, seed, *, criterion: str, popularity_floor: int):
     del seed
-    reranker = RankingBasedTechnique(
-        base,
+    reranker = make_reranker(
+        "rbt",
+        base=base,
         criterion=criterion,
         ranking_threshold=4.5,
         max_rating=5.0,
@@ -83,29 +80,37 @@ def _rbt(base, split, n, seed, *, criterion: str, popularity_floor: int):
 
 
 def _pra(base, split, n, seed, *, exchangeable_size: int):
-    reranker = PersonalizedRankingAdaptation(
-        base, exchangeable_size=exchangeable_size, max_steps=20, seed=seed
+    reranker = make_reranker(
+        "pra", base=base, exchangeable_size=exchangeable_size, max_steps=20, seed=seed
     )
     reranker.fit(split.train)
     return reranker.recommend_all(n).as_dict()
 
 
-def _ganc(base, split, n, seed, *, preference: str, sample_size: int):
-    estimator = TfidfPreference() if preference == "thetaT" else GeneralizedPreference()
-    theta = estimator.estimate(split.train)
-    effective_sample = max(1, min(sample_size, split.train.n_users))
-    model = GANC(
-        base,
-        theta,
-        DynamicCoverage(),
-        config=GANCConfig(sample_size=effective_sample, optimizer="oslg", seed=seed),
+def _ganc(
+    base, split, n, seed, *,
+    preference: str, sample_size: int,
+    dataset_key: str = "ml100k", scale: float = 1.0, block_size: int | None = None,
+):
+    spec = ganc_spec(
+        dataset=dataset_key, arec="rsvd", theta=preference, coverage="dyn",
+        n=n, sample_size=sample_size, optimizer="oslg", scale=scale,
+        seed=seed, block_size=block_size,
     )
-    model.fit(split.train)
-    return model.recommend_all(n).as_dict()
+    pipeline = Pipeline(spec, recommender=base).fit(split)
+    return pipeline.recommend_all().as_dict()
 
 
-def table4_algorithms(*, popularity_floor: int = 1, sample_size: int = 500) -> dict[str, AlgorithmBuilder]:
+def table4_algorithms(
+    *,
+    popularity_floor: int = 1,
+    sample_size: int = 500,
+    dataset_key: str = "ml100k",
+    scale: float = 1.0,
+    block_size: int | None = None,
+) -> dict[str, AlgorithmBuilder]:
     """The nine Table IV algorithms, keyed by the paper's labels."""
+    ganc_kwargs = {"dataset_key": dataset_key, "scale": scale, "block_size": block_size}
     return {
         "RSVD": _base_ranking,
         "5D(RSVD)": lambda b, s, n, seed: _five_d(b, s, n, seed),
@@ -121,10 +126,10 @@ def table4_algorithms(*, popularity_floor: int = 1, sample_size: int = 500) -> d
         "PRA(RSVD, 10)": lambda b, s, n, seed: _pra(b, s, n, seed, exchangeable_size=10),
         "PRA(RSVD, 20)": lambda b, s, n, seed: _pra(b, s, n, seed, exchangeable_size=20),
         "GANC(RSVD, thetaT, Dyn)": lambda b, s, n, seed: _ganc(
-            b, s, n, seed, preference="thetaT", sample_size=sample_size
+            b, s, n, seed, preference="thetaT", sample_size=sample_size, **ganc_kwargs
         ),
         "GANC(RSVD, thetaG, Dyn)": lambda b, s, n, seed: _ganc(
-            b, s, n, seed, preference="thetaG", sample_size=sample_size
+            b, s, n, seed, preference="thetaG", sample_size=sample_size, **ganc_kwargs
         ),
     }
 
@@ -137,18 +142,22 @@ def run_table4_for_dataset(
     sample_size: int = 500,
     seed: SeedLike = 0,
     algorithms: Sequence[str] | None = None,
+    block_size: int | None = None,
 ) -> list[Table4Row]:
     """Run the Table IV comparison on one dataset and return ranked rows."""
     spec = EXPERIMENT_DATASETS[dataset_key]
     _, split = load_experiment_split(dataset_key, scale=scale, seed=seed)
-    evaluator = Evaluator(split, n=n)
+    evaluator = Evaluator(split, n=n, block_size=block_size)
 
     base = build_accuracy_recommender("rsvd", seed=seed, scale_hint=scale)
     base.fit(split.train)
 
     # The paper uses TH = 1 except on the two largest datasets where TH = 0.
     popularity_floor = 0 if dataset_key in ("ml10m", "netflix") else 1
-    builders = table4_algorithms(popularity_floor=popularity_floor, sample_size=sample_size)
+    builders = table4_algorithms(
+        popularity_floor=popularity_floor, sample_size=sample_size,
+        dataset_key=dataset_key, scale=scale, block_size=block_size,
+    )
     if algorithms is not None:
         builders = {name: builders[name] for name in algorithms}
 
@@ -188,6 +197,7 @@ def run_table4(
     sample_size: int = 500,
     seed: SeedLike = 0,
     algorithms: Sequence[str] | None = None,
+    block_size: int | None = None,
 ) -> tuple[list[Table4Row], ExperimentTable]:
     """Regenerate Table IV across datasets."""
     keys = list(datasets) if datasets is not None else list(EXPERIMENT_DATASETS)
@@ -198,7 +208,8 @@ def run_table4(
     )
     for key in keys:
         rows = run_table4_for_dataset(
-            key, n=n, scale=scale, sample_size=sample_size, seed=seed, algorithms=algorithms
+            key, n=n, scale=scale, sample_size=sample_size, seed=seed,
+            algorithms=algorithms, block_size=block_size,
         )
         all_rows.extend(rows)
         for row in rows:

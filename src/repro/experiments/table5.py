@@ -18,6 +18,7 @@ from repro.data.split import RatioSplitter
 from repro.experiments.datasets import EXPERIMENT_DATASETS, load_experiment_split
 from repro.experiments.runner import ExperimentTable
 from repro.metrics.accuracy import rmse
+from repro.recommenders.registry import make_recommender
 from repro.recommenders.rsvd import RSVD
 from repro.utils.rng import SeedLike
 
@@ -66,12 +67,12 @@ def run_table5_for_dataset(
         for g in factors:
             for reg in regs:
                 for lr in learning_rates:
-                    model = RSVD(
+                    model = make_recommender(
+                        "rsvdn" if model_name == "RSVDN" else "rsvd",
                         n_factors=g,
                         n_epochs=n_epochs,
                         learning_rate=lr,
                         reg=reg,
-                        non_negative=(model_name == "RSVDN"),
                         seed=seed,
                     )
                     model.fit(inner.train)

@@ -1,0 +1,35 @@
+"""Unified pipeline API: declarative specs, one registry, persistable runs.
+
+The paper frames GANC as a generic framework; this package is that genericity
+as an API.  A :class:`PipelineSpec` declares *what* to run (dataset, accuracy
+recommender, preference model, coverage strategy, optimization and evaluation
+settings) in a JSON-round-trippable form; a :class:`Pipeline` executes it
+behind ``fit → recommend_all → evaluate`` and persists fitted state with
+``save``/``load`` so serving never refits:
+
+>>> from repro.pipeline import Pipeline, ganc_spec
+>>> spec = ganc_spec(dataset="ml100k", arec="psvd100", theta="thetaG",
+...                  coverage="dyn", scale=0.3, seed=0)
+>>> pipeline = Pipeline(spec).fit()
+>>> run = pipeline.evaluate(pipeline.recommend_all())
+"""
+
+from repro.pipeline.pipeline import Pipeline
+from repro.pipeline.spec import (
+    ComponentSpec,
+    DatasetSpec,
+    EvaluationSpec,
+    GANCSpec,
+    PipelineSpec,
+    ganc_spec,
+)
+
+__all__ = [
+    "Pipeline",
+    "PipelineSpec",
+    "ComponentSpec",
+    "DatasetSpec",
+    "EvaluationSpec",
+    "GANCSpec",
+    "ganc_spec",
+]

@@ -10,6 +10,7 @@ import numpy as np
 from repro.data.dataset import RatingDataset
 from repro.data.popularity import PopularityStats
 from repro.exceptions import ConfigurationError
+from repro.registry import ParamsMixin
 
 
 @dataclass(frozen=True)
@@ -48,7 +49,7 @@ class PreferenceResult:
         return float(self.theta[user])
 
 
-class PreferenceModel(ABC):
+class PreferenceModel(ParamsMixin, ABC):
     """Base class: estimate per-user long-tail novelty preferences from train data."""
 
     #: short name used in reports and in the registry

@@ -1,15 +1,14 @@
-"""Name-based construction of preference models.
+"""Preference-model registrations in the unified component registry.
 
 The experiment harness refers to preference models by the symbols the paper
-uses in Figure 5: ``thetaA``, ``thetaN``, ``thetaT``, ``thetaG``, ``thetaR``,
-``thetaC``.
+uses in Figure 5 (``thetaA``, ``thetaN``, ``thetaT``, ``thetaG``, ``thetaR``,
+``thetaC``); the long-form names are registered as aliases.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from typing import Mapping
 
-from repro.exceptions import ConfigurationError
 from repro.preferences.base import PreferenceModel
 from repro.preferences.generalized import GeneralizedPreference
 from repro.preferences.simple import (
@@ -19,34 +18,26 @@ from repro.preferences.simple import (
     RandomPreference,
     TfidfPreference,
 )
+from repro.registry import create, legacy_view, register
 
-PreferenceFactory = Callable[..., PreferenceModel]
-
-PREFERENCE_REGISTRY: Mapping[str, PreferenceFactory] = {
-    "thetaa": lambda **kw: ActivityPreference(),
-    "thetan": lambda **kw: NormalizedLongTailPreference(),
-    "thetat": lambda **kw: TfidfPreference(),
-    "thetag": lambda **kw: GeneralizedPreference(
-        max_iterations=kw.get("max_iterations", 50),
-        tolerance=kw.get("tolerance", 1e-6),
-    ),
-    "thetar": lambda **kw: RandomPreference(seed=kw.get("seed", None)),
-    "thetac": lambda **kw: ConstantPreference(value=kw.get("value", 0.5)),
-    # Long-form aliases.
-    "activity": lambda **kw: ActivityPreference(),
-    "long_tail_fraction": lambda **kw: NormalizedLongTailPreference(),
-    "tfidf": lambda **kw: TfidfPreference(),
-    "generalized": lambda **kw: GeneralizedPreference(),
-    "random": lambda **kw: RandomPreference(seed=kw.get("seed", None)),
-    "constant": lambda **kw: ConstantPreference(value=kw.get("value", 0.5)),
-}
+register("preference", "thetaa", aliases=("activity",))(ActivityPreference)
+register("preference", "thetan", aliases=("long_tail_fraction",))(NormalizedLongTailPreference)
+register("preference", "thetat", aliases=("tfidf",))(TfidfPreference)
+register("preference", "thetag", aliases=("generalized",))(GeneralizedPreference)
+register("preference", "thetar", aliases=("random",))(RandomPreference)
+register("preference", "thetac", aliases=("constant",))(ConstantPreference)
 
 
 def make_preference_model(name: str, **kwargs: object) -> PreferenceModel:
-    """Instantiate a preference model from its (case-insensitive) name."""
-    key = name.strip().lower().replace("θ", "theta")
-    if key not in PREFERENCE_REGISTRY:
-        raise ConfigurationError(
-            f"unknown preference model {name!r}; available: {sorted(PREFERENCE_REGISTRY)}"
-        )
-    return PREFERENCE_REGISTRY[key](**kwargs)
+    """Instantiate a preference model from its (case-insensitive) name.
+
+    The paper's ``θ`` spelling (``θG`` → ``thetag``) is normalized by the
+    registry itself.  Unknown hyper-parameters raise
+    :class:`ConfigurationError`; the reserved ``seed`` kwarg is threaded to
+    θR and dropped for the seedless estimators.
+    """
+    return create("preference", name, **kwargs)
+
+
+#: Name → factory view of the registered preference models.
+PREFERENCE_REGISTRY: Mapping[str, object] = legacy_view("preference")

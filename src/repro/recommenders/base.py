@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.data.dataset import RatingDataset
 from repro.exceptions import ConfigurationError, NotFittedError
+from repro.registry import ParamsMixin
 from repro.utils.normalization import normalize_rows
 from repro.utils.topn import (
     iter_user_blocks,
@@ -81,8 +82,14 @@ class FittedTopN:
         return {u: self.for_user(u) for u in range(self.n_users)}
 
 
-class Recommender(ABC):
-    """Abstract base class of all accuracy recommenders."""
+class Recommender(ParamsMixin, ABC):
+    """Abstract base class of all accuracy recommenders.
+
+    Besides the scoring contract below, every recommender is introspectable:
+    :meth:`~repro.registry.ParamsMixin.get_params` reports the constructor
+    configuration and ``from_params`` rebuilds an unfitted clone, which is
+    what makes pipeline specs round-trippable.
+    """
 
     def __init__(self) -> None:
         self._train: RatingDataset | None = None

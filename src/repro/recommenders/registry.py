@@ -1,16 +1,25 @@
-"""Name-based construction of accuracy recommenders.
+"""Accuracy-recommender registrations in the unified component registry.
 
-The experiment harness refers to recommenders with the short names the paper
-uses (``Pop``, ``Rand``, ``RSVD``, ``PSVD10``, ``PSVD100``, ``CofiR100``).
-:func:`make_recommender` turns those names into configured model instances so
-an experiment definition is a plain list of strings.
+The experiment harness and the pipeline API refer to recommenders with the
+short names the paper uses (``Pop``, ``Rand``, ``RSVD``, ``PSVD10``,
+``PSVD100``, ``CofiR100``).  This module is the single source of truth for
+those names: it registers every model with :func:`repro.registry.register`,
+together with the paper's experiment hyper-parameters and the rank-scaling
+rule for surrogate datasets (``scale_hint`` multiplies the SVD-family latent
+ranks so the factors-to-items ratio stays comparable to the full-size
+datasets — a 100-factor PureSVD on a 300-item surrogate would otherwise
+reconstruct the zero-imputed matrix almost exactly and lose all
+generalization).
+
+Names of the ``psvdNN`` / ``cofirNN`` families resolve dynamically for any
+rank ``NN``, so ``make_recommender("psvd37")`` works without a dedicated
+entry.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from typing import Mapping
 
-from repro.exceptions import ConfigurationError
 from repro.recommenders.base import Recommender
 from repro.recommenders.cofirank import CofiRank
 from repro.recommenders.knn import ItemKNN
@@ -19,47 +28,68 @@ from repro.recommenders.puresvd import PureSVD
 from repro.recommenders.random import RandomRecommender
 from repro.recommenders.rsvd import RSVD
 from repro.recommenders.user_knn import UserKNN
+from repro.registry import ComponentEntry, create, legacy_view, register, register_resolver
 
-RecommenderFactory = Callable[..., Recommender]
+#: Hyper-parameters shared by the CofiRank family (Section V of the paper).
+_COFIR_DEFAULTS = {"reg": 10.0, "n_iterations": 3}
+#: RSVD with the paper's cross-validated training schedule (Table V).
+_RSVD_DEFAULTS = {"n_factors": 20, "n_epochs": 30, "learning_rate": 0.02, "reg": 0.05}
+
+register("recommender", "pop")(MostPopular)
+register("recommender", "rand", defaults={"seed": 0})(RandomRecommender)
+register("recommender", "rsvd", defaults=_RSVD_DEFAULTS)(RSVD)
+register("recommender", "rsvdn", defaults={**_RSVD_DEFAULTS, "non_negative": True})(RSVD)
+register(
+    "recommender", "psvd",
+    defaults={"n_factors": 100}, scaled_params={"n_factors": 3},
+)(PureSVD)
+register(
+    "recommender", "psvd10",
+    defaults={"n_factors": 10}, scaled_params={"n_factors": 3},
+)(PureSVD)
+register(
+    "recommender", "psvd100",
+    defaults={"n_factors": 100}, scaled_params={"n_factors": 3},
+)(PureSVD)
+register(
+    "recommender", "cofir100",
+    defaults={**_COFIR_DEFAULTS, "n_factors": 100}, scaled_params={"n_factors": 5},
+)(CofiRank)
+register("recommender", "itemknn", defaults={"k": 50})(ItemKNN)
+register("recommender", "userknn", defaults={"k": 40})(UserKNN)
 
 
-RECOMMENDER_REGISTRY: Mapping[str, RecommenderFactory] = {
-    "pop": lambda **kw: MostPopular(),
-    "rand": lambda **kw: RandomRecommender(seed=kw.get("seed", 0)),
-    "rsvd": lambda **kw: RSVD(
-        n_factors=kw.get("n_factors", 20),
-        n_epochs=kw.get("n_epochs", 20),
-        learning_rate=kw.get("learning_rate", 0.01),
-        reg=kw.get("reg", 0.05),
-        seed=kw.get("seed", 0),
-    ),
-    "rsvdn": lambda **kw: RSVD(
-        n_factors=kw.get("n_factors", 20),
-        n_epochs=kw.get("n_epochs", 20),
-        learning_rate=kw.get("learning_rate", 0.01),
-        reg=kw.get("reg", 0.05),
-        non_negative=True,
-        seed=kw.get("seed", 0),
-    ),
-    "psvd10": lambda **kw: PureSVD(n_factors=10),
-    "psvd100": lambda **kw: PureSVD(n_factors=100),
-    "psvd": lambda **kw: PureSVD(n_factors=kw.get("n_factors", 100)),
-    "cofir100": lambda **kw: CofiRank(
-        n_factors=kw.get("n_factors", 100),
-        reg=kw.get("reg", 10.0),
-        n_iterations=kw.get("n_iterations", 5),
-        seed=kw.get("seed", 0),
-    ),
-    "itemknn": lambda **kw: ItemKNN(k=kw.get("k", 50)),
-    "userknn": lambda **kw: UserKNN(k=kw.get("k", 40)),
-}
+def _factor_family_resolver(name: str) -> ComponentEntry | None:
+    """Resolve ``psvdNN`` / ``cofirNN`` names for arbitrary ranks ``NN``."""
+    for prefix, cls, minimum, extra in (
+        ("psvd", PureSVD, 3, {}),
+        ("cofir", CofiRank, 5, _COFIR_DEFAULTS),
+    ):
+        suffix = name.removeprefix(prefix)
+        if suffix != name and suffix.isdigit() and int(suffix) >= 1:
+            return ComponentEntry(
+                kind="recommender",
+                name=name,
+                cls=cls,
+                defaults={**extra, "n_factors": int(suffix)},
+                scaled_params={"n_factors": minimum},
+            )
+    return None
+
+
+register_resolver("recommender", _factor_family_resolver)
 
 
 def make_recommender(name: str, **kwargs: object) -> Recommender:
-    """Instantiate a recommender from its (case-insensitive) registry name."""
-    key = name.strip().lower()
-    if key not in RECOMMENDER_REGISTRY:
-        raise ConfigurationError(
-            f"unknown recommender {name!r}; available: {sorted(RECOMMENDER_REGISTRY)}"
-        )
-    return RECOMMENDER_REGISTRY[key](**kwargs)
+    """Instantiate a recommender from its (case-insensitive) registry name.
+
+    Unknown hyper-parameters raise :class:`ConfigurationError`; the reserved
+    ``seed`` / ``scale_hint`` kwargs behave as described in
+    :mod:`repro.registry`.
+    """
+    return create("recommender", name, **kwargs)
+
+
+#: Name → factory view of the registered recommenders (kept for callers that
+#: iterate the available names; construction itself goes through ``create``).
+RECOMMENDER_REGISTRY: Mapping[str, object] = legacy_view("recommender")

@@ -16,10 +16,13 @@ from repro.rerankers.base import Reranker
 from repro.rerankers.rbt import RankingBasedTechnique
 from repro.rerankers.resource_allocation import ResourceAllocation5D
 from repro.rerankers.pra import PersonalizedRankingAdaptation
+from repro.rerankers.registry import make_reranker, RERANKER_REGISTRY
 
 __all__ = [
     "Reranker",
     "RankingBasedTechnique",
     "ResourceAllocation5D",
     "PersonalizedRankingAdaptation",
+    "make_reranker",
+    "RERANKER_REGISTRY",
 ]

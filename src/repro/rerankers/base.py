@@ -15,10 +15,11 @@ import numpy as np
 from repro.data.dataset import RatingDataset
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.recommenders.base import FittedTopN, Recommender
+from repro.registry import ParamsMixin
 from repro.utils.topn import top_n_indices
 
 
-class Reranker(ABC):
+class Reranker(ParamsMixin, ABC):
     """Base class of all re-ranking baselines.
 
     Parameters

@@ -8,7 +8,7 @@ a Generator so the rest of the code never has to branch on the input type.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -101,3 +101,89 @@ def test_cli_recommend_reports_metrics(capsys, tmp_path):
     assert recs_file.exists()
     header = recs_file.read_text().splitlines()[0]
     assert header == "user,rank,item"
+
+
+def test_cli_recommend_dump_spec_and_run_reproduce_csv(tmp_path, capsys):
+    """`run --config` must reproduce the `recommend` CSV byte-identically."""
+    spec_path = tmp_path / "spec.json"
+    rec_csv = tmp_path / "recommend.csv"
+    run_csv = tmp_path / "run.csv"
+    assert main(
+        [
+            "recommend", "--dataset", "ml100k", "--scale", "0.2",
+            "--arec", "psvd10", "--theta", "thetaN", "--coverage", "dyn",
+            "--sample-size", "30",
+            "--dump-spec", str(spec_path),
+            "--save-recommendations", str(rec_csv),
+        ]
+    ) == 0
+    assert spec_path.exists()
+    assert main(
+        ["run", "--config", str(spec_path), "--save-recommendations", str(run_csv)]
+    ) == 0
+    assert rec_csv.read_bytes() == run_csv.read_bytes()
+
+
+def test_cli_run_save_and_load_pipeline_serve_identically(tmp_path, capsys):
+    spec_path = tmp_path / "spec.json"
+    artifact = tmp_path / "artifact"
+    first_csv = tmp_path / "first.csv"
+    served_csv = tmp_path / "served.csv"
+    assert main(
+        [
+            "recommend", "--dataset", "ml100k", "--scale", "0.2",
+            "--arec", "pop", "--theta", "thetaT", "--coverage", "stat",
+            "--sample-size", "30", "--dump-spec", str(spec_path),
+        ]
+    ) == 0
+    assert main(
+        [
+            "run", "--config", str(spec_path),
+            "--save-pipeline", str(artifact),
+            "--save-recommendations", str(first_csv),
+        ]
+    ) == 0
+    assert (artifact / "spec.json").exists()
+    assert (artifact / "state.npz").exists()
+    assert main(
+        [
+            "run", "--load-pipeline", str(artifact),
+            "--save-recommendations", str(served_csv),
+        ]
+    ) == 0
+    assert first_csv.read_bytes() == served_csv.read_bytes()
+
+
+def test_cli_run_requires_a_source(capsys):
+    import pytest as _pytest
+
+    with _pytest.raises(SystemExit):
+        main(["run"])
+
+
+def test_cli_block_size_is_accepted_and_preserves_output(tmp_path, capsys):
+    default_csv = tmp_path / "default.csv"
+    blocked_csv = tmp_path / "blocked.csv"
+    base = [
+        "recommend", "--dataset", "ml100k", "--scale", "0.2",
+        "--arec", "psvd10", "--theta", "thetaN", "--coverage", "stat",
+        "--sample-size", "30",
+    ]
+    assert main(base + ["--save-recommendations", str(default_csv)]) == 0
+    assert main(
+        base + ["--block-size", "7", "--save-recommendations", str(blocked_csv)]
+    ) == 0
+    assert default_csv.read_bytes() == blocked_csv.read_bytes()
+
+
+def test_cli_recommend_honors_output_file(tmp_path, capsys):
+    target = tmp_path / "metrics.txt"
+    assert main(
+        [
+            "recommend", "--dataset", "ml100k", "--scale", "0.2",
+            "--arec", "pop", "--theta", "thetaN", "--coverage", "stat",
+            "--sample-size", "30", "--output", str(target),
+        ]
+    ) == 0
+    assert target.exists()
+    assert "f_measure" in target.read_text()

@@ -135,3 +135,13 @@ def test_coverage_registry_rejects_unknown():
     with pytest.raises(ConfigurationError):
         make_coverage("nope")
     assert {"rand", "stat", "dyn"} <= set(COVERAGE_REGISTRY)
+
+
+def test_registry_rejects_unknown_hyperparameters():
+    with pytest.raises(ConfigurationError, match="unexpected parameter"):
+        make_coverage("rand", sead=3)
+
+
+def test_registry_drops_seed_for_seedless_models():
+    assert isinstance(make_coverage("dyn", seed=3), DynamicCoverage)
+    assert isinstance(make_coverage("stat", seed=3), StaticCoverage)

@@ -2,12 +2,10 @@
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.experiments.figure1 import popularity_vs_activity, run_figure1
 from repro.experiments.figure2 import FIGURE2_MODELS, preference_histograms, run_figure2
 from repro.experiments.table2 import dataset_statistics, run_table2
-from repro.experiments.datasets import EXPERIMENT_DATASETS
 
 SCALE = 0.25
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.experiments.ablations import run_ordering_ablation, run_oslg_vs_greedy

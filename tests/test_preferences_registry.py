@@ -47,3 +47,14 @@ def test_registry_forwards_kwargs():
 def test_registry_rejects_unknown_names():
     with pytest.raises(ConfigurationError):
         make_preference_model("thetaX")
+
+
+def test_unknown_hyperparameters_are_rejected():
+    with pytest.raises(ConfigurationError, match="unexpected parameter"):
+        make_preference_model("thetaG", max_iteration=7)
+    with pytest.raises(ConfigurationError, match="unexpected parameter"):
+        make_preference_model("thetaC", values=0.8)
+
+
+def test_seed_is_dropped_for_seedless_models():
+    assert isinstance(make_preference_model("thetaT", seed=3), TfidfPreference)

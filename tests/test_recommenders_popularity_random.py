@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.recommenders.popularity import MostPopular
 from repro.recommenders.random import RandomRecommender

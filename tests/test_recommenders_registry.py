@@ -59,3 +59,17 @@ def test_registry_rejects_unknown_names():
 
 def test_registry_exposes_all_names():
     assert {"pop", "rand", "rsvd", "psvd10", "psvd100", "cofir100"} <= set(RECOMMENDER_REGISTRY)
+
+
+def test_unknown_hyperparameters_are_rejected():
+    """Typos like n_factor= must fail loudly instead of being swallowed."""
+    with pytest.raises(ConfigurationError, match="unexpected parameter"):
+        make_recommender("rsvd", n_factor=7)
+    with pytest.raises(ConfigurationError, match="unexpected parameter"):
+        make_recommender("psvd100", factors=10)
+
+
+def test_scale_hint_scales_svd_family_ranks():
+    assert make_recommender("psvd100", scale_hint=0.2).n_factors == 20
+    assert make_recommender("psvd10", scale_hint=0.01).n_factors == 3
+    assert make_recommender("cofir100", scale_hint=0.01).n_factors == 5

@@ -1,0 +1,186 @@
+"""Tests for the unified component registry (repro.registry)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coverage.dynamic import DynamicCoverage
+from repro.coverage.random import RandomCoverage
+from repro.exceptions import ConfigurationError
+from repro.preferences.generalized import GeneralizedPreference
+from repro.recommenders.cofirank import CofiRank
+from repro.recommenders.popularity import MostPopular
+from repro.recommenders.puresvd import PureSVD
+from repro.recommenders.rsvd import RSVD
+from repro.registry import (
+    ComponentEntry,
+    ParamsMixin,
+    available,
+    component_entry,
+    create,
+    register,
+)
+from repro.rerankers.pra import PersonalizedRankingAdaptation
+
+
+# --------------------------------------------------------------------------- #
+# Kinds and lookup
+# --------------------------------------------------------------------------- #
+def test_every_kind_is_populated():
+    assert {"pop", "rand", "rsvd", "psvd10", "psvd100", "cofir100"} <= set(available("recommender"))
+    assert {"thetaa", "thetan", "thetat", "thetag", "thetar", "thetac"} <= set(available("preference"))
+    assert {"rand", "stat", "dyn"} <= set(available("coverage"))
+    assert {"rbt", "5d", "pra"} <= set(available("reranker"))
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ConfigurationError, match="unknown component kind"):
+        create("optimizer", "oslg")
+    with pytest.raises(ConfigurationError, match="unknown component kind"):
+        available("optimizer")
+
+
+def test_unknown_name_lists_alternatives():
+    with pytest.raises(ConfigurationError, match="available"):
+        create("recommender", "definitely-not-a-model")
+
+
+def test_lookup_is_case_insensitive_and_stripped():
+    assert isinstance(create("recommender", " PSVD100 "), PureSVD)
+    assert isinstance(create("coverage", "DYN"), DynamicCoverage)
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ConfigurationError, match="already registered"):
+        register("coverage", "dyn")(DynamicCoverage)
+
+
+# --------------------------------------------------------------------------- #
+# Strict keyword validation
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize(
+    ("kind", "name", "bad_kwargs"),
+    [
+        ("recommender", "rsvd", {"n_factor": 7}),  # the classic typo
+        ("recommender", "pop", {"n_factors": 10}),
+        ("preference", "thetag", {"max_iteration": 5}),
+        ("preference", "thetac", {"values": 0.3}),
+        ("coverage", "dyn", {"sample_size": 10}),
+        ("reranker", "pra", {"base": MostPopular(), "exchangable_size": 10}),
+    ],
+)
+def test_unknown_kwargs_raise_configuration_error(kind, name, bad_kwargs):
+    with pytest.raises(ConfigurationError, match="unexpected parameter"):
+        create(kind, name, **bad_kwargs)
+
+
+def test_error_message_names_valid_parameters():
+    with pytest.raises(ConfigurationError, match="n_factors"):
+        create("recommender", "rsvd", n_factor=7)
+
+
+def test_seed_is_threaded_when_accepted_and_dropped_otherwise():
+    rand = create("recommender", "rand", seed=7)
+    assert rand.get_params()["seed"] == 7
+    # Pop takes no seed: uniform seed threading must not explode.
+    assert isinstance(create("recommender", "pop", seed=7), MostPopular)
+    assert isinstance(create("preference", "thetat", seed=7).get_params(), dict)
+    assert isinstance(create("coverage", "stat", seed=7).get_params(), dict)
+
+
+# --------------------------------------------------------------------------- #
+# Defaults, scaling and dynamic names
+# --------------------------------------------------------------------------- #
+def test_paper_defaults_are_entry_defaults():
+    rsvd = create("recommender", "rsvd")
+    assert (rsvd.n_factors, rsvd.n_epochs, rsvd.learning_rate, rsvd.reg) == (20, 30, 0.02, 0.05)
+    assert create("recommender", "rsvdn").non_negative is True
+    assert create("recommender", "psvd10").n_factors == 10
+    assert create("recommender", "cofir100").n_factors == 100
+
+
+def test_scale_hint_scales_rank_defaults_with_minimums():
+    assert create("recommender", "psvd100", scale_hint=0.2).n_factors == 20
+    assert create("recommender", "psvd100", scale_hint=1.0).n_factors == 100
+    # Clamped below at 0.05 and floored at the family minimum.
+    assert create("recommender", "psvd10", scale_hint=0.01).n_factors == 3
+    assert create("recommender", "cofir100", scale_hint=0.01).n_factors == 5
+    # scale_hint > 1 never inflates the rank.
+    assert create("recommender", "psvd100", scale_hint=3.0).n_factors == 100
+
+
+def test_scale_hint_never_rescales_explicit_values():
+    model = create("recommender", "psvd100", n_factors=64, scale_hint=0.1)
+    assert model.n_factors == 64
+
+
+def test_scale_hint_ignored_by_unscaled_entries():
+    model = create("recommender", "rsvd", scale_hint=0.1)
+    assert model.n_factors == 20
+
+
+def test_dynamic_factor_family_names_resolve():
+    assert create("recommender", "psvd37").n_factors == 37
+    cofi = create("recommender", "cofir40", scale_hint=0.5)
+    assert isinstance(cofi, CofiRank)
+    assert cofi.n_factors == 20
+    entry = component_entry("recommender", "psvd8")
+    assert isinstance(entry, ComponentEntry)
+    with pytest.raises(ConfigurationError):
+        create("recommender", "psvd0")
+
+
+def test_reranker_creation_takes_base_keyword():
+    reranker = create("reranker", "pra", base=MostPopular(), exchangeable_size=5, seed=0)
+    assert isinstance(reranker, PersonalizedRankingAdaptation)
+
+
+# --------------------------------------------------------------------------- #
+# get_params / from_params
+# --------------------------------------------------------------------------- #
+def test_get_params_reports_constructor_configuration():
+    model = create("recommender", "rsvd", n_factors=12, seed=3)
+    params = model.get_params()
+    assert params["n_factors"] == 12
+    assert params["seed"] == 3
+    clone = RSVD.from_params(params)
+    assert clone.get_params() == params
+
+
+def test_get_params_on_parameterless_components():
+    assert MostPopular().get_params() == {}
+    assert DynamicCoverage().get_params() == {}
+
+
+def test_get_params_covers_underscore_storage():
+    assert RandomCoverage(seed=11).get_params() == {"seed": 11}
+
+
+def test_from_params_rejects_unknown_names():
+    with pytest.raises(ConfigurationError, match="unexpected parameter"):
+        GeneralizedPreference.from_params({"max_iterations": 5, "tolerence": 1e-3})
+
+
+def test_every_registered_component_round_trips_params():
+    for kind in ("recommender", "preference", "coverage"):
+        for name in available(kind):
+            component = create(kind, name)
+            params = component.get_params()
+            clone = type(component).from_params(params)
+            assert clone.get_params() == params, f"{kind}:{name}"
+
+
+def test_params_mixin_is_on_every_base():
+    from repro.coverage.base import CoverageRecommender
+    from repro.preferences.base import PreferenceModel
+    from repro.recommenders.base import Recommender
+    from repro.rerankers.base import Reranker
+
+    for base in (Recommender, PreferenceModel, CoverageRecommender, Reranker):
+        assert issubclass(base, ParamsMixin)
+
+
+def test_theta_spelling_resolves_through_every_entry_point():
+    """The paper's θ spelling works in create(), specs and the CLI alike."""
+    assert isinstance(create("preference", "θG"), GeneralizedPreference)
+    assert component_entry("preference", "ΘG").name == "thetag"
