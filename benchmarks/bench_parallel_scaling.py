@@ -1,0 +1,160 @@
+"""Parallel scaling benchmark: speedup of the sharded backends vs serial.
+
+Measures the wall-clock of the two heaviest serving paths on the synthetic
+ML-1M-scale profile —
+
+* ``Recommender.recommend_all`` (PSVD100, the dense-dataset ARec), and
+* the full GANC(PSVD100, θG, Dyn/OSLG) ``recommend_all`` end-to-end —
+
+for every requested ``(backend, n_jobs)`` combination, verifies each run is
+byte-identical to serial, and reports the speedups.  Results are printed and
+written to ``benchmarks/output/bench_parallel_scaling.txt``.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_scaling.py               # full ML-1M scale
+    PYTHONPATH=src python benchmarks/bench_parallel_scaling.py --scale 0.1   # CI smoke run
+
+``--min-speedup`` turns the report into a gate: the process exits non-zero
+when the best end-to-end speedup falls below the floor.  The ISSUE targets
+>= 2x at ``--jobs 4`` on a machine with at least 4 cores; on fewer cores
+(CI smoke uses ``--min-speedup 0``) the equivalence checks still run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.split import RatioSplitter
+from repro.data.synthetic import make_dataset
+from repro.parallel import get_executor
+from repro.pipeline import Pipeline, ganc_spec
+from repro.recommenders.registry import make_recommender
+
+N = 5
+
+
+def _time(fn, *, repeats: int = 1):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def bench_recommend_all(train, variants, repeats, block_size, lines):
+    model = make_recommender("psvd100").fit(train)
+    model.recommend_all(N)  # warm caches
+    serial_s, serial = _time(
+        lambda: model.recommend_all(N, block_size=block_size), repeats=repeats
+    )
+    lines.append(f"{'recommend_all psvd100':<28} {'serial':>8} {1:>5} {serial_s:>9.4f} {'1.0x':>8}  True")
+    best = 0.0
+    for backend, n_jobs in variants:
+        executor = get_executor(backend, n_jobs)
+        seconds, result = _time(
+            lambda: model.recommend_all(N, block_size=block_size, executor=executor),
+            repeats=repeats,
+        )
+        equal = bool(np.array_equal(result.items, serial.items))
+        speedup = serial_s / seconds if seconds > 0 else float("inf")
+        best = max(best, speedup)
+        lines.append(
+            f"{'recommend_all psvd100':<28} {backend:>8} {n_jobs:>5} "
+            f"{seconds:>9.4f} {speedup:>7.1f}x  {equal}"
+        )
+        if not equal:
+            raise SystemExit(f"non-identical output from {backend} n_jobs={n_jobs}")
+    return best
+
+
+def bench_ganc_end_to_end(split, scale, variants, repeats, block_size, lines):
+    def build(n_jobs: int, backend: str) -> Pipeline:
+        spec = ganc_spec(
+            dataset="ml1m", arec="psvd100", theta="thetaG", coverage="dyn",
+            n=N, sample_size=min(500, split.train.n_users), optimizer="oslg",
+            scale=scale, seed=0, block_size=block_size,
+            n_jobs=n_jobs, backend=backend,
+        )
+        return Pipeline(spec).fit(split)
+
+    serial_pipeline = build(1, "thread")
+    serial_pipeline.recommend_all()  # warm
+    serial_s, serial = _time(lambda: serial_pipeline.recommend_all(), repeats=repeats)
+    lines.append(f"{'GANC oslg end-to-end':<28} {'serial':>8} {1:>5} {serial_s:>9.4f} {'1.0x':>8}  True")
+    best = 0.0
+    for backend, n_jobs in variants:
+        pipeline = build(n_jobs, backend)
+        seconds, result = _time(lambda: pipeline.recommend_all(), repeats=repeats)
+        equal = bool(np.array_equal(result.items, serial.items))
+        speedup = serial_s / seconds if seconds > 0 else float("inf")
+        best = max(best, speedup)
+        lines.append(
+            f"{'GANC oslg end-to-end':<28} {backend:>8} {n_jobs:>5} "
+            f"{seconds:>9.4f} {speedup:>7.1f}x  {equal}"
+        )
+        if not equal:
+            raise SystemExit(f"non-identical GANC output from {backend} n_jobs={n_jobs}")
+    return best
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0, help="synthetic ML-1M scale factor")
+    parser.add_argument("--jobs", type=int, nargs="+", default=[2, 4], help="worker counts to sweep")
+    parser.add_argument(
+        "--backends", nargs="+", choices=["thread", "process"], default=["thread", "process"]
+    )
+    parser.add_argument("--repeats", type=int, default=2, help="timed repetitions (best-of)")
+    parser.add_argument("--block-size", type=int, default=256, help="users per score block")
+    parser.add_argument(
+        "--min-speedup", type=float, default=0.0,
+        help="fail when the best end-to-end speedup is below this floor",
+    )
+    args = parser.parse_args()
+
+    dataset = make_dataset("ml1m", scale=args.scale, seed=0)
+    split = RatioSplitter(0.5, seed=0).split(dataset)
+    train = split.train
+    variants = [(backend, jobs) for backend in args.backends for jobs in args.jobs]
+
+    lines = [
+        f"parallel scaling on synthetic ML-1M x {args.scale}: "
+        f"{train.n_users} users x {train.n_items} items "
+        f"({os.cpu_count()} CPUs visible)",
+        "",
+        f"{'workload':<28} {'backend':>8} {'jobs':>5} {'seconds':>9} {'speedup':>8}  equal",
+        "-" * 72,
+    ]
+    best_recommend = bench_recommend_all(train, variants, args.repeats, args.block_size, lines)
+    lines.append("")
+    best_ganc = bench_ganc_end_to_end(
+        split, args.scale, variants, args.repeats, args.block_size, lines
+    )
+    best = max(best_recommend, best_ganc)
+    lines.append("")
+    lines.append(f"best end-to-end speedup: {best:.2f}x (floor: {args.min_speedup}x)")
+
+    text = "\n".join(lines)
+    print(text)
+    output = Path(__file__).parent / "output" / "bench_parallel_scaling.txt"
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(text + "\n", encoding="utf-8")
+    print(f"\nwritten to {output}")
+
+    if best < args.min_speedup:
+        print(f"FAILED: best speedup {best:.2f}x below the {args.min_speedup}x floor")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

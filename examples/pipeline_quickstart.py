@@ -51,6 +51,12 @@ def main() -> None:
     pipeline = Pipeline(spec).fit()
     ganc_run = pipeline.evaluate()
 
+    # Serving shards the user axis across workers on request; execution is
+    # mechanism, not modelling, so the top-N bytes never change with n_jobs.
+    serial_top5 = pipeline.recommender.recommend_all(5)
+    parallel_top5 = pipeline.recommender.recommend_all(5, n_jobs=2)
+    assert np.array_equal(serial_top5.items, parallel_top5.items)
+
     bare_spec = PipelineSpec(
         recommender=ComponentSpec("psvd100"),
         dataset=DatasetSpec(key="ml100k", scale=0.5),

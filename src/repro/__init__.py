@@ -70,8 +70,17 @@ from repro.pipeline import (
     ComponentSpec,
     DatasetSpec,
     EvaluationSpec,
+    ExecutionSpec,
     GANCSpec,
     ganc_spec,
+)
+from repro.parallel import (
+    Executor,
+    SerialExecutor,
+    ThreadExecutor,
+    ProcessExecutor,
+    get_executor,
+    resolve_executor,
 )
 
 __version__ = "1.0.0"
@@ -139,6 +148,14 @@ __all__ = [
     "ComponentSpec",
     "DatasetSpec",
     "EvaluationSpec",
+    "ExecutionSpec",
     "GANCSpec",
     "ganc_spec",
+    # parallel execution
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "get_executor",
+    "resolve_executor",
 ]

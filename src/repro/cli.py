@@ -29,6 +29,8 @@ from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.data.io import save_recommendations_csv
+from repro.exceptions import ConfigurationError
+from repro.parallel.executor import EXECUTOR_BACKENDS
 from repro.experiments.ablations import run_ordering_ablation, run_oslg_vs_greedy
 from repro.experiments.datasets import EXPERIMENT_DATASETS
 from repro.experiments.figure1 import run_figure1
@@ -46,11 +48,33 @@ from repro.pipeline import (
     ComponentSpec,
     DatasetSpec,
     EvaluationSpec,
+    ExecutionSpec,
     GANCSpec,
     Pipeline,
     PipelineSpec,
 )
 from repro.utils.tables import format_table
+
+
+def _positive_int(option: str) -> Callable[[str], int]:
+    """Argparse ``type`` validating strictly positive integer options.
+
+    Raises :class:`ConfigurationError` (not ``ValueError``, which argparse
+    would swallow into a generic usage message) so a bad ``--jobs 0`` fails
+    loudly with the offending option named, instead of surfacing later as an
+    opaque numpy error deep inside a scoring block.
+    """
+
+    def parse(text: str) -> int:
+        try:
+            value = int(text)
+        except ValueError:
+            raise ConfigurationError(f"{option} must be an integer, got {text!r}") from None
+        if value < 1:
+            raise ConfigurationError(f"{option} must be >= 1, got {value}")
+        return value
+
+    return parse
 
 
 def _emit(table: ExperimentTable, output: str | None) -> None:
@@ -69,11 +93,24 @@ def _add_common_arguments(parser: argparse.ArgumentParser, *, with_datasets: boo
     parser.add_argument("--output", type=str, default=None, help="write the rendered table to this file")
     parser.add_argument(
         "--block-size",
-        type=int,
+        type=_positive_int("--block-size"),
         default=None,
         help="users scored per matrix block in the batched paths "
         "(default: repro.utils.topn.DEFAULT_BLOCK_SIZE); peak memory is "
         "O(block_size x n_items)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int("--jobs"),
+        default=1,
+        help="workers the batched score paths fan user blocks out to "
+        "(1 = serial; results are byte-identical for any value)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=list(EXECUTOR_BACKENDS),
+        default="thread",
+        help="executor backend used when --jobs > 1 (default: thread)",
     )
     if with_datasets:
         parser.add_argument(
@@ -105,7 +142,7 @@ def _cmd_figure2(args: argparse.Namespace) -> int:
 def _cmd_figure3(args: argparse.Namespace) -> int:
     _, table = run_figure3(
         sample_sizes=tuple(args.sample_sizes), scale=args.scale, seed=args.seed,
-        block_size=args.block_size,
+        block_size=args.block_size, n_jobs=args.jobs, backend=args.backend,
     )
     _emit(table, args.output)
     return 0
@@ -114,7 +151,7 @@ def _cmd_figure3(args: argparse.Namespace) -> int:
 def _cmd_figure4(args: argparse.Namespace) -> int:
     _, table = run_figure4(
         sample_sizes=tuple(args.sample_sizes), scale=args.scale, seed=args.seed,
-        block_size=args.block_size,
+        block_size=args.block_size, n_jobs=args.jobs, backend=args.backend,
     )
     _emit(table, args.output)
     return 0
@@ -128,6 +165,8 @@ def _cmd_figure5(args: argparse.Namespace) -> int:
         scale=args.scale,
         seed=args.seed,
         block_size=args.block_size,
+        n_jobs=args.jobs,
+        backend=args.backend,
     )
     _emit(table, args.output)
     return 0
@@ -136,7 +175,7 @@ def _cmd_figure5(args: argparse.Namespace) -> int:
 def _cmd_table4(args: argparse.Namespace) -> int:
     _, table = run_table4(
         datasets=args.datasets, scale=args.scale, sample_size=args.sample_size,
-        seed=args.seed, block_size=args.block_size,
+        seed=args.seed, block_size=args.block_size, n_jobs=args.jobs, backend=args.backend,
     )
     _emit(table, args.output)
     return 0
@@ -145,7 +184,7 @@ def _cmd_table4(args: argparse.Namespace) -> int:
 def _cmd_figure6(args: argparse.Namespace) -> int:
     _, table = run_figure6(
         datasets=args.datasets, scale=args.scale, sample_size=args.sample_size,
-        seed=args.seed, block_size=args.block_size,
+        seed=args.seed, block_size=args.block_size, n_jobs=args.jobs, backend=args.backend,
     )
     _emit(table, args.output)
     return 0
@@ -160,7 +199,7 @@ def _cmd_table5(args: argparse.Namespace) -> int:
 def _cmd_figure7_8(args: argparse.Namespace) -> int:
     _, table = run_figure7_8(
         datasets=tuple(args.datasets or ("ml100k", "ml1m")), scale=args.scale,
-        seed=args.seed, block_size=args.block_size,
+        seed=args.seed, block_size=args.block_size, n_jobs=args.jobs, backend=args.backend,
     )
     _emit(table, args.output)
     return 0
@@ -169,7 +208,7 @@ def _cmd_figure7_8(args: argparse.Namespace) -> int:
 def _cmd_ablation_oslg(args: argparse.Namespace) -> int:
     _, table = run_oslg_vs_greedy(
         dataset_key=args.dataset, scale=args.scale, seed=args.seed,
-        block_size=args.block_size,
+        block_size=args.block_size, n_jobs=args.jobs, backend=args.backend,
     )
     _emit(table, args.output)
     return 0
@@ -178,7 +217,7 @@ def _cmd_ablation_oslg(args: argparse.Namespace) -> int:
 def _cmd_ablation_ordering(args: argparse.Namespace) -> int:
     _, table = run_ordering_ablation(
         dataset_key=args.dataset, scale=args.scale, seed=args.seed,
-        block_size=args.block_size,
+        block_size=args.block_size, n_jobs=args.jobs, backend=args.backend,
     )
     _emit(table, args.output)
     return 0
@@ -211,6 +250,7 @@ def _spec_from_recommend_args(args: argparse.Namespace) -> PipelineSpec:
         coverage=ComponentSpec(args.coverage),
         ganc=GANCSpec(sample_size=args.sample_size, block_size=args.block_size),
         evaluation=EvaluationSpec(n=args.n, block_size=args.block_size),
+        execution=ExecutionSpec(backend=args.backend, n_jobs=args.jobs),
         seed=args.seed,
     )
 
@@ -270,7 +310,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.load_pipeline:
         pipeline = Pipeline.load(args.load_pipeline)
     else:
-        pipeline = Pipeline.from_json_file(args.config).fit()
+        pipeline = Pipeline.from_json_file(args.config)
+    # --jobs/--backend override the spec's execution section: execution is
+    # mechanism, not modelling, so overriding it never changes results.
+    if args.jobs is not None or args.backend is not None:
+        execution = pipeline.spec.execution
+        pipeline.set_execution(
+            ExecutionSpec(
+                backend=args.backend or execution.backend,
+                n_jobs=args.jobs if args.jobs is not None else execution.n_jobs,
+            )
+        )
+    if not args.load_pipeline:
+        pipeline.fit()
     return _run_pipeline(
         pipeline,
         dataset_label=pipeline.spec.dataset.key,
@@ -369,6 +421,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory of a fitted pipeline saved with --save-pipeline",
     )
     run.add_argument("--output", type=str, default=None, help="write the metric table to this file")
+    run.add_argument(
+        "--jobs", type=_positive_int("--jobs"), default=None,
+        help="override the spec's execution.n_jobs (results are unchanged)",
+    )
+    run.add_argument(
+        "--backend", choices=list(EXECUTOR_BACKENDS), default=None,
+        help="override the spec's execution.backend",
+    )
     run.add_argument(
         "--save-recommendations", type=str, default=None, help="write the top-N sets to this CSV file"
     )

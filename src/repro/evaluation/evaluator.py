@@ -8,6 +8,7 @@ tables are produced.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
@@ -19,6 +20,7 @@ from repro.data.split import TrainTestSplit
 from repro.evaluation.protocols import AllUnratedItemsProtocol, RankingProtocol
 from repro.exceptions import EvaluationError
 from repro.metrics.report import MetricReport, evaluate_top_n
+from repro.parallel.executor import Executor, resolve_executor
 from repro.recommenders.base import FittedTopN, Recommender
 
 RecommendationsLike = Mapping[int, np.ndarray] | FittedTopN
@@ -54,6 +56,12 @@ class Evaluator:
         uses :data:`repro.utils.topn.DEFAULT_BLOCK_SIZE`); whole-table runs
         therefore go through the batched ``predict_matrix`` path while peak
         memory stays bounded.
+    n_jobs, backend, executor:
+        Worker fan-out of the score blocks when generating top-N sets: an
+        explicit :class:`~repro.parallel.Executor` wins, otherwise
+        ``n_jobs`` workers of ``backend`` (default ``thread``) are used, and
+        ``n_jobs=1`` stays serial.  Metric outputs are byte-identical for
+        every setting.
     """
 
     split: TrainTestSplit
@@ -62,6 +70,9 @@ class Evaluator:
     beta: float = 0.5
     protocol: RankingProtocol = field(default_factory=AllUnratedItemsProtocol)
     block_size: int | None = None
+    n_jobs: int = 1
+    backend: str = "thread"
+    executor: Executor | None = field(default=None, repr=False)
     _popularity: PopularityStats | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
@@ -69,6 +80,10 @@ class Evaluator:
             raise EvaluationError(f"n must be >= 1, got {self.n}")
         if self.block_size is not None and self.block_size < 1:
             raise EvaluationError(f"block_size must be >= 1, got {self.block_size}")
+        self._resolve_executor()  # validates n_jobs/backend eagerly
+
+    def _resolve_executor(self) -> Executor:
+        return resolve_executor(self.executor, self.n_jobs, self.backend)
 
     @property
     def train(self) -> RatingDataset:
@@ -126,7 +141,8 @@ class Evaluator:
         if fit or not recommender.is_fitted:
             recommender.fit(self.train)
         recs = self.protocol.top_n(
-            recommender, self.train, self.test, self.n, block_size=self.block_size
+            recommender, self.train, self.test, self.n,
+            block_size=self.block_size, executor=self._resolve_executor(),
         )
         return self.evaluate_recommendations(
             recs,
@@ -144,9 +160,18 @@ class Evaluator:
         """Evaluate any callable that maps (split, n) to recommendations.
 
         Used for re-ranking frameworks (GANC, RBT, 5D, PRA) whose output is a
-        full top-N collection rather than a scoring model.
+        full top-N collection rather than a scoring model.  Builders that
+        accept an ``executor`` keyword receive this evaluator's executor, so
+        framework runs inherit the evaluation fan-out without new plumbing.
         """
-        recs = build_recommendations(self.split, self.n)
+        kwargs = {}
+        try:
+            parameters = inspect.signature(build_recommendations).parameters
+        except (TypeError, ValueError):  # builtins / odd callables
+            parameters = {}
+        if "executor" in parameters:
+            kwargs["executor"] = self._resolve_executor()
+        recs = build_recommendations(self.split, self.n, **kwargs)
         return self.evaluate_recommendations(
             recs, algorithm=algorithm, include_ndcg=include_ndcg
         )

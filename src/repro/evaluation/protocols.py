@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.data.dataset import RatingDataset
 from repro.exceptions import ConfigurationError
+from repro.parallel.executor import Executor
 from repro.recommenders.base import Recommender
 from repro.utils.topn import top_n_indices
 
@@ -43,10 +44,12 @@ class RankingProtocol(ABC):
         n: int,
         *,
         block_size: int | None = None,
+        executor: Executor | None = None,
     ) -> dict[int, np.ndarray]:
         """Return ``{user: top-N item array}`` under this protocol.
 
-        ``block_size`` bounds the number of users scored per matrix block.
+        ``block_size`` bounds the number of users scored per matrix block;
+        ``executor`` optionally fans the blocks out to workers.
         """
 
 
@@ -63,10 +66,11 @@ class AllUnratedItemsProtocol(RankingProtocol):
         n: int,
         *,
         block_size: int | None = None,
+        executor: Executor | None = None,
     ) -> dict[int, np.ndarray]:
         """Delegate to the recommender's own blocked train-excluding top-N."""
         del test  # the candidate pool ignores test information by design
-        result = recommender.recommend_all(n, block_size=block_size)
+        result = recommender.recommend_all(n, block_size=block_size, executor=executor)
         return result.as_dict()
 
 
@@ -83,15 +87,17 @@ class RatedTestItemsProtocol(RankingProtocol):
         n: int,
         *,
         block_size: int | None = None,
+        executor: Executor | None = None,
     ) -> dict[int, np.ndarray]:
         """Score each user's test items and keep the best ``n`` of them.
 
         Each user ranks only their own (small) test-candidate set, so scoring
         stays candidate-restricted per user — computing full catalogue rows
         here would be asymptotically wasteful for neighbourhood models.
-        ``block_size`` is accepted for interface symmetry but unused.
+        ``block_size``/``executor`` are accepted for interface symmetry but
+        unused.
         """
-        del train, block_size
+        del train, block_size, executor
         out: dict[int, np.ndarray] = {}
         for user in range(test.n_users):
             candidates = test.user_items(user)

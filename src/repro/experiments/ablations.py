@@ -42,10 +42,12 @@ def run_oslg_vs_greedy(
     scale: float = 1.0,
     seed: SeedLike = 0,
     block_size: int | None = None,
+    n_jobs: int = 1,
+    backend: str = "thread",
 ) -> tuple[list[AblationRow], ExperimentTable]:
     """Compare OSLG at several sample sizes against the exact sequential pass."""
     _, split = load_experiment_split(dataset_key, scale=scale, seed=seed)
-    evaluator = Evaluator(split, n=n, block_size=block_size)
+    evaluator = Evaluator(split, n=n, block_size=block_size, n_jobs=n_jobs, backend=backend)
     theta = GeneralizedPreference().estimate(split.train)
     arec = build_accuracy_recommender(arec_name, seed=seed, scale_hint=scale)
     arec.fit(split.train)
@@ -60,7 +62,7 @@ def run_oslg_vs_greedy(
         return ganc_spec(
             dataset=dataset_key, arec=arec_name, theta="thetaG", coverage="dyn",
             n=n, sample_size=sample_size, optimizer=optimizer, scale=scale,
-            seed=seed, block_size=block_size,
+            seed=seed, block_size=block_size, n_jobs=n_jobs, backend=backend,
         )
 
     configurations = [("LocallyGreedy (exact)", spec_for(split.train.n_users, "locally_greedy"))]
@@ -89,10 +91,12 @@ def run_ordering_ablation(
     scale: float = 1.0,
     seed: SeedLike = 0,
     block_size: int | None = None,
+    n_jobs: int = 1,
+    backend: str = "thread",
 ) -> tuple[list[AblationRow], ExperimentTable]:
     """Compare increasing / arbitrary / decreasing θ orderings of the sequential pass."""
     _, split = load_experiment_split(dataset_key, scale=scale, seed=seed)
-    evaluator = Evaluator(split, n=n, block_size=block_size)
+    evaluator = Evaluator(split, n=n, block_size=block_size, n_jobs=n_jobs, backend=backend)
     theta = GeneralizedPreference().estimate(split.train)
     arec = build_accuracy_recommender(arec_name, seed=seed, scale_hint=scale)
     arec.fit(split.train)
@@ -107,6 +111,7 @@ def run_ordering_ablation(
             dataset=dataset_key, arec=arec_name, theta="thetaG", coverage="dyn",
             n=n, sample_size=split.train.n_users, optimizer="locally_greedy",
             theta_order=ordering, scale=scale, seed=seed, block_size=block_size,
+            n_jobs=n_jobs, backend=backend,
         )
         pipeline = Pipeline(spec, recommender=arec, preference=theta).fit(split)
         started = time.perf_counter()

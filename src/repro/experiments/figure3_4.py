@@ -42,6 +42,8 @@ def run_sample_size_sweep(
     scale: float = 1.0,
     seed: SeedLike = 0,
     block_size: int | None = None,
+    n_jobs: int = 1,
+    backend: str = "thread",
 ) -> tuple[list[SampleSizePoint], ExperimentTable]:
     """Sweep the OSLG sample size for GANC(ARec, θG, Dyn) on one dataset.
 
@@ -49,7 +51,7 @@ def run_sample_size_sweep(
     scaled-down) surrogate dataset, preserving the sweep's shape.
     """
     _, split = load_experiment_split(dataset_key, scale=scale, seed=seed)
-    evaluator = Evaluator(split, n=n, block_size=block_size)
+    evaluator = Evaluator(split, n=n, block_size=block_size, n_jobs=n_jobs, backend=backend)
     theta = GeneralizedPreference().estimate(split.train)
 
     points: list[SampleSizePoint] = []
@@ -66,7 +68,7 @@ def run_sample_size_sweep(
             spec = ganc_spec(
                 dataset=dataset_key, arec=arec_name, theta="thetaG", coverage="dyn",
                 n=n, sample_size=sample_size, optimizer="oslg", scale=scale,
-                seed=seed, block_size=block_size,
+                seed=seed, block_size=block_size, n_jobs=n_jobs, backend=backend,
             )
             pipeline = Pipeline(spec, recommender=arec, preference=theta).fit(split)
             run = evaluator.evaluate_recommendations(
@@ -90,6 +92,8 @@ def run_figure3(
     scale: float = 1.0,
     seed: SeedLike = 0,
     block_size: int | None = None,
+    n_jobs: int = 1,
+    backend: str = "thread",
 ) -> tuple[list[SampleSizePoint], ExperimentTable]:
     """Figure 3: the sweep on the ML-1M surrogate."""
     return run_sample_size_sweep(
@@ -99,6 +103,8 @@ def run_figure3(
         scale=scale,
         seed=seed,
         block_size=block_size,
+        n_jobs=n_jobs,
+        backend=backend,
     )
 
 
@@ -109,6 +115,8 @@ def run_figure4(
     scale: float = 1.0,
     seed: SeedLike = 0,
     block_size: int | None = None,
+    n_jobs: int = 1,
+    backend: str = "thread",
 ) -> tuple[list[SampleSizePoint], ExperimentTable]:
     """Figure 4: the sweep on the MT-200K surrogate."""
     return run_sample_size_sweep(
@@ -118,4 +126,6 @@ def run_figure4(
         scale=scale,
         seed=seed,
         block_size=block_size,
+        n_jobs=n_jobs,
+        backend=backend,
     )

@@ -53,6 +53,8 @@ def run_protocol_comparison(
     scale: float = 1.0,
     seed: SeedLike = 0,
     block_size: int | None = None,
+    n_jobs: int = 1,
+    backend: str = "thread",
 ) -> list[ProtocolPoint]:
     """Evaluate the algorithm panel under both protocols on one dataset."""
     spec = EXPERIMENT_DATASETS[dataset_key]
@@ -66,7 +68,10 @@ def run_protocol_comparison(
         model = build_accuracy_recommender(name, seed=seed, scale_hint=scale)
         model.fit(split.train)
         for protocol_name, protocol in protocols.items():
-            evaluator = Evaluator(split, n=n, protocol=protocol, block_size=block_size)
+            evaluator = Evaluator(
+                split, n=n, protocol=protocol, block_size=block_size,
+                n_jobs=n_jobs, backend=backend,
+            )
             run = evaluator.evaluate_recommender(model, algorithm=name, fit=False)
             points.append(
                 ProtocolPoint(
@@ -87,6 +92,8 @@ def run_figure7_8(
     scale: float = 1.0,
     seed: SeedLike = 0,
     block_size: int | None = None,
+    n_jobs: int = 1,
+    backend: str = "thread",
 ) -> tuple[list[ProtocolPoint], ExperimentTable]:
     """Regenerate the Figures 7-8 protocol comparison."""
     points: list[ProtocolPoint] = []
@@ -99,7 +106,8 @@ def run_figure7_8(
     )
     for key in datasets:
         dataset_points = run_protocol_comparison(
-            key, algorithms=algorithms, n=n, scale=scale, seed=seed, block_size=block_size
+            key, algorithms=algorithms, n=n, scale=scale, seed=seed,
+            block_size=block_size, n_jobs=n_jobs, backend=backend,
         )
         points.extend(dataset_points)
         for point in dataset_points:

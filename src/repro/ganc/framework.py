@@ -33,6 +33,9 @@ from repro.exceptions import ConfigurationError, NotFittedError
 from repro.ganc.locally_greedy import LocallyGreedyOptimizer
 from repro.ganc.oslg import OSLGOptimizer
 from repro.ganc.value_function import UserValueFunction
+from repro.parallel.executor import EXECUTOR_BACKENDS, effective_n_jobs, resolve_executor
+from repro.parallel.handles import DatasetHandle
+from repro.parallel.tasks import ExclusionPairsProvider, UnitScoresProvider
 from repro.preferences.base import PreferenceModel, PreferenceResult
 from repro.recommenders.base import FittedTopN, Recommender
 from repro.utils.rng import SeedLike
@@ -63,6 +66,14 @@ class GANCConfig:
         Number of users scored per block by the batched assignment paths
         (``None`` uses :data:`repro.utils.topn.DEFAULT_BLOCK_SIZE`).  Peak
         memory of the independent phases is ``O(block_size × n_items)``.
+    n_jobs:
+        Workers the independent assignment phases (stateless-coverage
+        assignment, OSLG snapshot phase) fan their user blocks out to.
+        ``1`` (default) runs serially, ``-1`` uses every CPU.  Results are
+        byte-identical for any worker count.
+    backend:
+        Executor backend for ``n_jobs > 1``: ``"thread"`` (default) or
+        ``"process"`` (see :mod:`repro.parallel`).
     """
 
     sample_size: int = 500
@@ -70,6 +81,8 @@ class GANCConfig:
     theta_order: Literal["increasing", "decreasing", "arbitrary"] = "increasing"
     seed: SeedLike = None
     block_size: int | None = None
+    n_jobs: int = 1
+    backend: str = "thread"
 
     def __post_init__(self) -> None:
         if self.sample_size < 1:
@@ -79,6 +92,11 @@ class GANCConfig:
         if self.block_size is not None and self.block_size < 1:
             raise ConfigurationError(
                 f"block_size must be >= 1, got {self.block_size}"
+            )
+        effective_n_jobs(self.n_jobs)  # validates the requested worker count
+        if self.backend not in EXECUTOR_BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {list(EXECUTOR_BACKENDS)}, got {self.backend!r}"
             )
         if self.optimizer not in ("auto", "oslg", "locally_greedy"):
             raise ConfigurationError(
@@ -203,14 +221,17 @@ class GANC:
         def accuracy_scores(user: int) -> np.ndarray:
             return self.accuracy.unit_scores(user, n)
 
-        def accuracy_matrix(users: np.ndarray) -> np.ndarray:
-            return self.accuracy.unit_scores_batch(users, n)
-
         def exclusions(user: int) -> np.ndarray:
             return train.user_items(user)
 
-        def exclusion_pairs(users: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-            return train.user_items_batch(users)
+        # Handle-backed batch providers: identical rows to the closures they
+        # replace, but picklable, so the process backend can ship them.  Both
+        # providers share one dataset handle, so workers rebuild the train
+        # data once rather than once per provider.
+        train_handle = DatasetHandle.capture(train)
+        accuracy_matrix = UnitScoresProvider(self.accuracy, n, train_handle=train_handle)
+        exclusion_pairs = ExclusionPairsProvider(train, handle=train_handle)
+        executor = resolve_executor(None, self.config.n_jobs, self.config.backend)
 
         if self.coverage.is_dynamic:
             self.coverage.reset()
@@ -229,6 +250,7 @@ class GANC:
                     accuracy_matrix=accuracy_matrix,
                     exclusion_pairs=exclusion_pairs,
                     block_size=self.config.block_size,
+                    executor=executor,
                 )
                 self.last_oslg_result_ = result
                 return result.top_n
@@ -251,6 +273,7 @@ class GANC:
             exclusion_pairs,
             n_users=train.n_users,
             block_size=self.config.block_size,
+            executor=executor,
         )
 
     def recommend(self, user: int, n: int) -> np.ndarray:

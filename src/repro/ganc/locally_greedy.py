@@ -30,9 +30,11 @@ import numpy as np
 
 from repro.coverage.base import CoverageRecommender
 from repro.exceptions import ConfigurationError
-from repro.ganc.value_function import combined_item_scores, combined_score_matrix
+from repro.ganc.value_function import combined_item_scores
+from repro.parallel.executor import Executor, resolve_executor
+from repro.parallel.tasks import IndependentAssignTask
 from repro.recommenders.base import FittedTopN
-from repro.utils.topn import iter_user_blocks, mask_pairs, top_n_indices, top_n_matrix
+from repro.utils.topn import iter_user_blocks, top_n_indices
 
 
 AccuracyScoreProvider = Callable[[int], np.ndarray]
@@ -116,6 +118,8 @@ class LocallyGreedyOptimizer:
         *,
         n_users: int | None = None,
         block_size: int | None = None,
+        executor: Executor | None = None,
+        n_jobs: int | None = None,
     ) -> FittedTopN:
         """Blocked 2-D assignment for stateless (non-dynamic) coverage.
 
@@ -124,7 +128,8 @@ class LocallyGreedyOptimizer:
         be scored and selected at once: one accuracy block, one (possibly
         broadcast) coverage block, one fancy-indexed exclusion mask and one
         row-wise top-N per ``block_size`` users.  The result matches
-        :meth:`run` exactly (same canonical tie-breaking).
+        :meth:`run` exactly (same canonical tie-breaking) on every executor
+        backend.
 
         Parameters
         ----------
@@ -137,6 +142,11 @@ class LocallyGreedyOptimizer:
             Callable mapping a block of user indices to flattened
             ``(block_row, item)`` exclusion pairs (see
             :meth:`repro.data.dataset.RatingDataset.user_items_batch`).
+        executor, n_jobs:
+            Optional worker fan-out of the blocks.  The ``process`` backend
+            requires picklable providers — GANC passes the handle-backed
+            providers of :mod:`repro.parallel.tasks`; plain closures are
+            fine for ``serial``/``thread``.
         """
         if self.coverage.is_dynamic:
             raise ConfigurationError(
@@ -146,15 +156,13 @@ class LocallyGreedyOptimizer:
         theta = np.asarray(theta, dtype=np.float64)
         total_users = int(n_users if n_users is not None else theta.size)
         out = np.empty((total_users, self.n), dtype=np.int64)
-        for users in iter_user_blocks(total_users, block_size):
-            values = combined_score_matrix(
-                accuracy_matrix(users),
-                self.coverage.scores_matrix(users),
-                theta[users],
-            )
-            rows, cols = exclusion_pairs(users)
-            mask_pairs(values, rows, cols)
-            out[users] = top_n_matrix(values, self.n)
+        blocks = list(iter_user_blocks(total_users, block_size))
+        task = IndependentAssignTask(
+            self.coverage, theta, self.n, accuracy_matrix, exclusion_pairs
+        )
+        executor = resolve_executor(executor, n_jobs)
+        for users, rows in zip(blocks, executor.map_blocks(task, blocks)):
+            out[users] = rows
         return FittedTopN(items=out)
 
     def assign_user(

@@ -38,10 +38,12 @@ from repro.ganc.locally_greedy import (
     ExclusionProvider,
     LocallyGreedyOptimizer,
 )
-from repro.ganc.value_function import combined_item_scores, combined_score_matrix
+from repro.ganc.value_function import combined_item_scores
+from repro.parallel.executor import Executor, resolve_executor
+from repro.parallel.tasks import SnapshotAssignTask
 from repro.recommenders.base import FittedTopN
 from repro.utils.rng import SeedLike, ensure_rng
-from repro.utils.topn import iter_user_blocks, mask_pairs, top_n_indices, top_n_matrix
+from repro.utils.topn import iter_user_blocks, top_n_indices
 
 
 @dataclass
@@ -118,13 +120,18 @@ class OSLGOptimizer:
         accuracy_matrix: BatchAccuracyProvider | None = None,
         exclusion_pairs: BatchExclusionProvider | None = None,
         block_size: int | None = None,
+        executor: Executor | None = None,
+        n_jobs: int | None = None,
     ) -> OSLGResult:
         """Execute Algorithm 1 and return the assigned collection.
 
         The sequential sampled pass uses the per-user providers; the
         snapshot-assignment phase processes the remaining users in blocks and
         prefers the batched providers when given, falling back to stacking
-        the per-user ones (same rows, so the result is identical).
+        the per-user ones (same rows, so the result is identical).  The
+        snapshot blocks are mutually independent — exactly the parallelism
+        the paper points out — and fan out to ``executor``/``n_jobs``
+        workers with byte-identical results on every backend.
         """
         theta = np.asarray(theta, dtype=np.float64)
         n_users = theta.size
@@ -158,19 +165,13 @@ class OSLGOptimizer:
                 accuracy_matrix = self._stacked_provider(accuracy_scores)
             if exclusion_pairs is None:
                 exclusion_pairs = self._stacked_exclusions(exclusions)
-            sampled_theta = theta[sampled]
-            for block in iter_user_blocks(remaining.size, block_size):
-                users = remaining[block]
-                nearest = np.argmin(
-                    np.abs(sampled_theta[None, :] - theta[users, None]), axis=1
-                )
-                coverage_block = DynamicCoverage.snapshot_scores(snapshots[nearest])
-                values = combined_score_matrix(
-                    accuracy_matrix(users), coverage_block, theta[users]
-                )
-                rows, cols = exclusion_pairs(users)
-                mask_pairs(values, rows, cols)
-                out[users] = top_n_matrix(values, self.n)
+            task = SnapshotAssignTask(
+                theta, theta[sampled], snapshots, self.n, accuracy_matrix, exclusion_pairs
+            )
+            blocks = [remaining[block] for block in iter_user_blocks(remaining.size, block_size)]
+            snapshot_executor = resolve_executor(executor, n_jobs)
+            for users, rows in zip(blocks, snapshot_executor.map_blocks(task, blocks)):
+                out[users] = rows
 
         return OSLGResult(
             top_n=FittedTopN(items=out),

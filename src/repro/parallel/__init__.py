@@ -1,0 +1,70 @@
+"""Sharded parallel execution backend.
+
+The user axis of the GANC framework is embarrassingly parallel: accuracy
+scoring, coverage snapshots and the locally-greedy per-user assignment are
+independent per user (Sections III and IV of the paper), so every batched
+path in the library can fan its user blocks out to workers.  This package
+supplies the machinery:
+
+:mod:`repro.parallel.executor`
+    The :class:`Executor` abstraction with ``serial``, ``thread`` and
+    ``process`` backends.  All backends consume the same
+    ``(task, blocks)`` contract and return block results in block order, so
+    the scored output is byte-identical to the serial loop for every backend
+    and any block size.
+:mod:`repro.parallel.handles`
+    Lightweight fitted-state handles built on the pipeline persistence layer
+    (:func:`repro.pipeline.persistence.component_state`): the process backend
+    ships a component's fitted arrays to workers once and rehydrates there
+    without refitting anything.
+:mod:`repro.parallel.tasks`
+    Picklable block tasks and providers used by ``recommend_all``, the
+    locally-greedy independent assignment and the OSLG snapshot phase.
+
+Determinism
+-----------
+Block tasks used by the library are RNG-free at serve time (stochastic
+models draw from per-user keyed streams fixed at fit time), which is what
+makes results invariant to backend, ``n_jobs`` *and* block size.  Tasks that
+do need randomness receive per-block generators derived with
+``numpy.random.SeedSequence.spawn`` (:func:`repro.utils.rng.spawn_seed_sequences`)
+in the parent process, so their streams depend only on the root seed and the
+block position — never on worker scheduling.
+"""
+
+from repro.parallel.executor import (
+    EXECUTOR_BACKENDS,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    effective_n_jobs,
+    get_executor,
+    resolve_executor,
+)
+from repro.parallel.handles import ComponentHandle, DatasetHandle
+from repro.parallel.tasks import (
+    ExclusionPairsProvider,
+    IndependentAssignTask,
+    RecommendBlockTask,
+    SnapshotAssignTask,
+    UnitScoresProvider,
+)
+
+__all__ = [
+    "EXECUTOR_BACKENDS",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "get_executor",
+    "resolve_executor",
+    "effective_n_jobs",
+    "ComponentHandle",
+    "DatasetHandle",
+    "RecommendBlockTask",
+    "UnitScoresProvider",
+    "ExclusionPairsProvider",
+    "IndependentAssignTask",
+    "SnapshotAssignTask",
+]

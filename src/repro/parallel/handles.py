@@ -1,0 +1,139 @@
+"""Lightweight fitted-state handles for process workers.
+
+The process backend must get fitted models into worker processes without
+refitting them.  A :class:`ComponentHandle` captures exactly what the
+pipeline persistence layer would write to disk — the constructor parameters
+(:meth:`~repro.registry.ParamsMixin.get_params`) plus the fitted
+arrays/scalars (:func:`repro.pipeline.persistence.component_state`) — and
+:meth:`ComponentHandle.restore` inverts it in the worker: rebuild an
+unfitted clone with ``from_params``, pour the state back with
+:func:`~repro.pipeline.persistence.restore_component_state`, and mark it
+fitted against the shipped train data.  Since the captured arrays travel
+bit-exactly, a rehydrated model scores byte-identically to the original.
+
+Handles carry a capture token; workers cache restored objects by token so a
+task fan-out rehydrates each model once per worker process, not once per
+block, and providers sharing a :class:`DatasetHandle` share one restored
+:class:`~repro.data.dataset.RatingDataset` instance.
+"""
+
+from __future__ import annotations
+
+import uuid
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.data.dataset import RatingDataset
+
+#: Per-process cache of rehydrated objects, keyed by capture token.  Each
+#: worker process has its own copy of this module, hence its own cache.
+_REHYDRATED: dict[str, Any] = {}
+
+
+def _cache_token() -> str:
+    return uuid.uuid4().hex
+
+
+@dataclass
+class DatasetHandle:
+    """Picklable snapshot of a :class:`RatingDataset` (same arrays as split.npz)."""
+
+    token: str
+    users: np.ndarray
+    items: np.ndarray
+    ratings: np.ndarray
+    n_users: int
+    n_items: int
+    user_ids: list
+    item_ids: list
+    name: str
+
+    @classmethod
+    def capture(cls, dataset: RatingDataset) -> "DatasetHandle":
+        """Snapshot the dataset's interaction arrays and universe metadata."""
+        return cls(
+            token=_cache_token(),
+            users=dataset.user_indices,
+            items=dataset.item_indices,
+            ratings=dataset.ratings,
+            n_users=dataset.n_users,
+            n_items=dataset.n_items,
+            user_ids=list(dataset.user_ids),
+            item_ids=list(dataset.item_ids),
+            name=dataset.name,
+        )
+
+    def restore(self) -> RatingDataset:
+        """Rebuild (or fetch the process-cached) dataset."""
+        cached = _REHYDRATED.get(self.token)
+        if cached is None:
+            cached = RatingDataset(
+                self.users,
+                self.items,
+                self.ratings,
+                n_users=self.n_users,
+                n_items=self.n_items,
+                user_ids=self.user_ids,
+                item_ids=self.item_ids,
+                name=self.name,
+            )
+            _REHYDRATED[self.token] = cached
+        return cached
+
+
+@dataclass
+class ComponentHandle:
+    """Fitted component captured as params + persistence-layer state.
+
+    Works for any :class:`~repro.registry.ParamsMixin` component whose fitted
+    state the persistence layer can harvest — the same contract
+    :meth:`Pipeline.save` enforces, so everything that persists to disk also
+    ships to workers.
+    """
+
+    token: str
+    cls: type
+    params: dict[str, Any]
+    arrays: dict[str, np.ndarray]
+    meta: dict[str, Any]
+    train: DatasetHandle | None = field(default=None)
+
+    @classmethod
+    def capture(cls, component: Any, *, train: DatasetHandle | None = None) -> "ComponentHandle":
+        """Snapshot a fitted component.
+
+        ``train`` lets several handles share one :class:`DatasetHandle`; by
+        default a recommender's train dataset is captured automatically
+        (coverage/preference components keep their fitted state inline and
+        need no dataset).
+        """
+        # Imported lazily: repro.pipeline imports the recommender base, which
+        # imports repro.parallel — a module-level import here would cycle.
+        from repro.pipeline.persistence import component_state
+
+        arrays, meta = component_state(component)
+        if train is None and getattr(component, "_train", None) is not None:
+            train = DatasetHandle.capture(component._train)
+        return cls(
+            token=_cache_token(),
+            cls=type(component),
+            params=component.get_params(),
+            arrays=arrays,
+            meta=meta,
+            train=train,
+        )
+
+    def restore(self) -> Any:
+        """Rebuild (or fetch the process-cached) fitted component."""
+        cached = _REHYDRATED.get(self.token)
+        if cached is None:
+            from repro.pipeline.persistence import restore_component_state
+
+            cached = self.cls.from_params(self.params)
+            restore_component_state(cached, self.arrays, self.meta)
+            if self.train is not None:
+                cached._mark_fitted(self.train.restore())
+            _REHYDRATED[self.token] = cached
+        return cached

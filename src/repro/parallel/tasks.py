@@ -1,0 +1,195 @@
+"""Picklable block tasks and providers behind the sharded score paths.
+
+Each task realizes exactly the per-block arithmetic of the serial loop it
+replaces — the same :func:`~repro.ganc.value_function.combined_score_matrix`,
+:func:`~repro.utils.topn.mask_pairs` and
+:func:`~repro.utils.topn.top_n_matrix` calls on bit-identical inputs — which
+is what makes every backend's output byte-identical to serial.
+
+Tasks hold *live* component references in the constructing process (serial
+and thread backends pay zero serialization).  When the process backend
+pickles a task, ``__getstate__`` swaps each live component for a
+:class:`~repro.parallel.handles.ComponentHandle`; in the worker the first
+block rehydrates the component (cached per process) and subsequent blocks
+reuse it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.parallel.handles import ComponentHandle, DatasetHandle
+from repro.utils.topn import mask_pairs, top_n_matrix
+
+
+def _combined_score_matrix(*args: Any) -> np.ndarray:
+    # Imported lazily: repro.ganc pulls in the GANC facade, which imports
+    # this module — a module-level import would cycle through the package
+    # __init__ files.
+    from repro.ganc.value_function import combined_score_matrix
+
+    return combined_score_matrix(*args)
+
+
+class _HandleSwapped:
+    """Base for tasks/providers that ship one component as a state handle.
+
+    Subclasses store the live component under ``self._live`` and everything
+    else in picklable attributes; pickling replaces ``_live`` with a captured
+    handle and unpickling rehydrates lazily on first use.  ``train_handle``
+    lets several tasks of one fan-out share a single
+    :class:`~repro.parallel.handles.DatasetHandle`, so workers rebuild the
+    train dataset once instead of once per task.
+    """
+
+    def __init__(self, live: Any, *, train_handle: DatasetHandle | None = None) -> None:
+        self._live: Any | None = live
+        self._handle: ComponentHandle | None = None
+        self._train_handle = train_handle
+
+    def _component(self) -> Any:
+        if self._live is None:
+            assert self._handle is not None
+            self._live = self._handle.restore()
+        return self._live
+
+    def __getstate__(self) -> dict[str, Any]:
+        if self._handle is None and self._live is not None:
+            # Capture once; repeated fan-outs of the same task reuse the
+            # handle token, so workers also rehydrate at most once.
+            self._handle = ComponentHandle.capture(self._live, train=self._train_handle)
+        state = dict(self.__dict__)
+        state["_live"] = None
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+
+
+class RecommendBlockTask(_HandleSwapped):
+    """Fan-out unit of :meth:`Recommender.recommend_all`: one top-N block."""
+
+    def __init__(self, recommender: Any, n: int) -> None:
+        super().__init__(recommender)
+        self.n = int(n)
+
+    def __call__(self, users: np.ndarray) -> np.ndarray:
+        return self._component().recommend_block(users, self.n)
+
+
+class UnitScoresProvider(_HandleSwapped):
+    """Batched accuracy provider ``users -> unit_scores_batch`` that pickles.
+
+    Drop-in replacement for the closure GANC used to build over its accuracy
+    recommender; identical rows, but shippable to process workers.
+    """
+
+    def __init__(
+        self, recommender: Any, n: int, *, train_handle: DatasetHandle | None = None
+    ) -> None:
+        super().__init__(recommender, train_handle=train_handle)
+        self.n = int(n)
+
+    def __call__(self, users: np.ndarray) -> np.ndarray:
+        return self._component().unit_scores_batch(users, self.n)
+
+
+class ExclusionPairsProvider:
+    """Batched exclusion provider ``users -> (rows, cols)`` that pickles."""
+
+    def __init__(self, train: Any, *, handle: DatasetHandle | None = None) -> None:
+        self._train: Any | None = train
+        self._handle: DatasetHandle | None = handle
+
+    def _dataset(self) -> Any:
+        if self._train is None:
+            assert self._handle is not None
+            self._train = self._handle.restore()
+        return self._train
+
+    def __getstate__(self) -> dict[str, Any]:
+        if self._handle is None and self._train is not None:
+            self._handle = DatasetHandle.capture(self._train)
+        state = dict(self.__dict__)
+        state["_train"] = None
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+
+    def __call__(self, users: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return self._dataset().user_items_batch(users)
+
+
+class IndependentAssignTask(_HandleSwapped):
+    """One blocked step of :meth:`LocallyGreedyOptimizer.run_independent`.
+
+    Valid only for stateless coverage: scores a block's combined value matrix
+    and selects its top-N rows, independent of every other block.
+    """
+
+    def __init__(
+        self,
+        coverage: Any,
+        theta: np.ndarray,
+        n: int,
+        accuracy_matrix: Any,
+        exclusion_pairs: Any,
+    ) -> None:
+        super().__init__(coverage)
+        self.theta = np.asarray(theta, dtype=np.float64)
+        self.n = int(n)
+        self.accuracy_matrix = accuracy_matrix
+        self.exclusion_pairs = exclusion_pairs
+
+    def __call__(self, users: np.ndarray) -> np.ndarray:
+        values = _combined_score_matrix(
+            self.accuracy_matrix(users),
+            self._component().scores_matrix(users),
+            self.theta[users],
+        )
+        rows, cols = self.exclusion_pairs(users)
+        mask_pairs(values, rows, cols)
+        return top_n_matrix(values, self.n)
+
+
+class SnapshotAssignTask:
+    """One blocked step of the OSLG snapshot phase (Algorithm 1, lines 11-15).
+
+    Every non-sampled user is scored against the frozen coverage snapshot of
+    the sampled user with the nearest θ; blocks are mutually independent.
+    The snapshots and θ vectors are plain arrays and pickle as-is; the
+    accuracy/exclusion providers handle their own state shipping.
+    """
+
+    def __init__(
+        self,
+        theta: np.ndarray,
+        sampled_theta: np.ndarray,
+        snapshots: np.ndarray,
+        n: int,
+        accuracy_matrix: Any,
+        exclusion_pairs: Any,
+    ) -> None:
+        self.theta = np.asarray(theta, dtype=np.float64)
+        self.sampled_theta = np.asarray(sampled_theta, dtype=np.float64)
+        self.snapshots = np.asarray(snapshots, dtype=np.float64)
+        self.n = int(n)
+        self.accuracy_matrix = accuracy_matrix
+        self.exclusion_pairs = exclusion_pairs
+
+    def __call__(self, users: np.ndarray) -> np.ndarray:
+        from repro.coverage.dynamic import DynamicCoverage
+
+        nearest = np.argmin(
+            np.abs(self.sampled_theta[None, :] - self.theta[users, None]), axis=1
+        )
+        coverage_block = DynamicCoverage.snapshot_scores(self.snapshots[nearest])
+        values = _combined_score_matrix(
+            self.accuracy_matrix(users), coverage_block, self.theta[users]
+        )
+        rows, cols = self.exclusion_pairs(users)
+        mask_pairs(values, rows, cols)
+        return top_n_matrix(values, self.n)

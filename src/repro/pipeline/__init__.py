@@ -19,6 +19,7 @@ from repro.pipeline.spec import (
     ComponentSpec,
     DatasetSpec,
     EvaluationSpec,
+    ExecutionSpec,
     GANCSpec,
     PipelineSpec,
     ganc_spec,
@@ -30,6 +31,7 @@ __all__ = [
     "ComponentSpec",
     "DatasetSpec",
     "EvaluationSpec",
+    "ExecutionSpec",
     "GANCSpec",
     "ganc_spec",
 ]

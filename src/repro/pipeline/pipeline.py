@@ -25,6 +25,7 @@ from repro.data.split import TrainTestSplit
 from repro.evaluation.evaluator import EvaluationRun, Evaluator
 from repro.exceptions import ConfigurationError, DataFormatError, NotFittedError
 from repro.ganc.framework import GANC, GANCConfig, PreferenceLike
+from repro.parallel.executor import Executor, resolve_executor
 from repro.pipeline.persistence import (
     FORMAT_VERSION,
     component_state,
@@ -123,13 +124,36 @@ class Pipeline:
 
     def _ganc_config(self, n_users: int) -> GANCConfig:
         section = self.spec.ganc
+        execution = self.spec.execution
         return GANCConfig(
             sample_size=max(1, min(section.sample_size, n_users)),
             optimizer=section.optimizer,  # type: ignore[arg-type]
             theta_order=section.theta_order,  # type: ignore[arg-type]
             seed=self.spec.resolved_seed(section.seed),
             block_size=section.block_size,
+            n_jobs=execution.n_jobs,
+            backend=execution.backend,
         )
+
+    def _executor(self) -> Executor:
+        """The executor declared by the spec's ``execution`` section."""
+        execution = self.spec.execution
+        return resolve_executor(None, execution.n_jobs, execution.backend)
+
+    def set_execution(self, execution: Any) -> "Pipeline":
+        """Swap the spec's ``execution`` section (mechanism only, results unchanged).
+
+        Also propagates to an already-fitted GANC model and a cached
+        evaluator, so overriding ``n_jobs`` on a loaded pipeline affects
+        serving immediately — no refit involved.
+        """
+        self.spec = replace(self.spec, execution=execution)
+        if self._model is not None:
+            self._model.config = replace(
+                self._model.config, n_jobs=execution.n_jobs, backend=execution.backend
+            )
+        self._evaluator = None
+        return self
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -236,7 +260,7 @@ class Pipeline:
             finally:
                 self._model.config = original
         block = block_size if block_size is not None else self.spec.evaluation.block_size
-        return self.recommender.recommend_all(n, block_size=block)
+        return self.recommender.recommend_all(n, block_size=block, executor=self._executor())
 
     def recommend(self, users: int | np.ndarray, n: int | None = None) -> np.ndarray:
         """Top-``n`` items for one user (1-D) or a block of users (2-D, -1 padded).
@@ -266,12 +290,15 @@ class Pipeline:
         self._check_fitted()
         if self._evaluator is None:
             section = self.spec.evaluation
+            execution = self.spec.execution
             self._evaluator = Evaluator(
                 self.split,
                 n=section.n,
                 relevance_threshold=section.relevance_threshold,
                 beta=section.beta,
                 block_size=section.block_size,
+                n_jobs=execution.n_jobs,
+                backend=execution.backend,
             )
         return self._evaluator
 

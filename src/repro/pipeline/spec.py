@@ -22,6 +22,11 @@ Sections
 ``evaluation``
     Top-N size, relevance threshold, stratified-recall β and the scoring
     block size.
+``execution``
+    How the batched paths run: executor backend (``serial``/``thread``/
+    ``process``) and worker count.  Execution is *mechanism*, not
+    modelling — results are byte-identical for every setting, so two specs
+    differing only in ``execution`` describe the same experiment.
 
 Every section's ``seed`` may be left ``None`` to inherit the spec-level
 ``seed``, so a single integer reproduces a whole run.
@@ -35,6 +40,7 @@ from pathlib import Path
 from typing import Any, Mapping
 
 from repro.exceptions import ConfigurationError
+from repro.parallel.executor import EXECUTOR_BACKENDS, effective_n_jobs
 
 _MISSING = object()
 
@@ -206,6 +212,42 @@ class EvaluationSpec:
 
 
 @dataclass(frozen=True)
+class ExecutionSpec:
+    """How the batched score paths execute (see :mod:`repro.parallel`).
+
+    ``n_jobs=1`` always runs serially regardless of ``backend``; ``-1``
+    uses one worker per CPU.  Changing this section never changes results.
+    """
+
+    backend: str = "thread"
+    n_jobs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.backend not in EXECUTOR_BACKENDS:
+            raise ConfigurationError(
+                f"execution backend must be one of {list(EXECUTOR_BACKENDS)}, "
+                f"got {self.backend!r}"
+            )
+        effective_n_jobs(self.n_jobs)
+
+    def to_config(self) -> dict[str, Any]:
+        """Plain-dict form."""
+        return {"backend": self.backend, "n_jobs": self.n_jobs}
+
+    @classmethod
+    def from_config(cls, config: Mapping[str, Any]) -> "ExecutionSpec":
+        """Rebuild from :meth:`to_config` output."""
+        config = _require_mapping(config, "execution")
+        _check_keys(config, ("backend", "n_jobs"), "execution")
+        n_jobs = config.get("n_jobs", 1)
+        if not isinstance(n_jobs, int) or isinstance(n_jobs, bool):
+            raise ConfigurationError(
+                f"execution n_jobs must be an integer, got {n_jobs!r}"
+            )
+        return cls(backend=config.get("backend", "thread"), n_jobs=n_jobs)
+
+
+@dataclass(frozen=True)
 class PipelineSpec:
     """Complete declarative description of one pipeline run."""
 
@@ -215,6 +257,7 @@ class PipelineSpec:
     coverage: ComponentSpec | None = None
     ganc: GANCSpec = field(default_factory=GANCSpec)
     evaluation: EvaluationSpec = field(default_factory=EvaluationSpec)
+    execution: ExecutionSpec = field(default_factory=ExecutionSpec)
     seed: int | None = 0
 
     def __post_init__(self) -> None:
@@ -244,6 +287,7 @@ class PipelineSpec:
             "coverage": None if self.coverage is None else self.coverage.to_config(),
             "ganc": self.ganc.to_config(),
             "evaluation": self.evaluation.to_config(),
+            "execution": self.execution.to_config(),
         }
 
     @classmethod
@@ -252,7 +296,10 @@ class PipelineSpec:
         config = _require_mapping(config, "pipeline")
         _check_keys(
             config,
-            ("seed", "dataset", "recommender", "preference", "coverage", "ganc", "evaluation"),
+            (
+                "seed", "dataset", "recommender", "preference", "coverage",
+                "ganc", "evaluation", "execution",
+            ),
             "pipeline",
         )
         recommender = config.get("recommender", _MISSING)
@@ -274,6 +321,7 @@ class PipelineSpec:
             ),
             ganc=GANCSpec.from_config(config.get("ganc", {})),
             evaluation=EvaluationSpec.from_config(config.get("evaluation", {})),
+            execution=ExecutionSpec.from_config(config.get("execution", {})),
         )
 
     # ------------------------------------------------------------------ #
@@ -321,6 +369,8 @@ def ganc_spec(
     scale: float = 1.0,
     seed: int | None = 0,
     block_size: int | None = None,
+    n_jobs: int = 1,
+    backend: str = "thread",
     arec_params: Mapping[str, Any] | None = None,
 ) -> PipelineSpec:
     """Shorthand for the ``GANC(ARec, θ, CRec)`` specs the experiments build."""
@@ -336,5 +386,6 @@ def ganc_spec(
             block_size=block_size,
         ),
         evaluation=EvaluationSpec(n=n, block_size=block_size),
+        execution=ExecutionSpec(backend=backend, n_jobs=n_jobs),
         seed=seed,
     )

@@ -32,6 +32,8 @@ import numpy as np
 
 from repro.data.dataset import RatingDataset
 from repro.exceptions import ConfigurationError, NotFittedError
+from repro.parallel.executor import Executor, resolve_executor
+from repro.parallel.tasks import RecommendBlockTask
 from repro.registry import ParamsMixin
 from repro.utils.normalization import normalize_rows
 from repro.utils.topn import (
@@ -219,19 +221,32 @@ class Recommender(ParamsMixin, ABC):
         mask_pairs(scores, rows, cols)
         return top_n_matrix(scores, n)
 
-    def recommend_all(self, n: int, *, block_size: int | None = None) -> FittedTopN:
+    def recommend_all(
+        self,
+        n: int,
+        *,
+        block_size: int | None = None,
+        executor: Executor | None = None,
+        n_jobs: int | None = None,
+    ) -> FittedTopN:
         """Top-``n`` sets for every user (train items excluded).
 
         Users are processed in blocks of ``block_size`` (default
         :data:`repro.utils.topn.DEFAULT_BLOCK_SIZE`) so peak memory stays
         ``O(block_size × n_items)`` while the scoring itself runs as 2-D
-        array operations.
+        array operations.  The blocks are independent, so they can fan out
+        to an :class:`~repro.parallel.Executor` (or ``n_jobs`` workers of
+        the default thread backend); every backend produces the same bytes
+        as the serial loop.
         """
         self._check_fitted()
         if n < 1:
             raise ConfigurationError(f"n must be >= 1, got {n}")
         n_users = self.train_data.n_users
+        blocks = list(iter_user_blocks(n_users, block_size))
+        task = RecommendBlockTask(self, n)
         out = np.empty((n_users, n), dtype=np.int64)
-        for users in iter_user_blocks(n_users, block_size):
-            out[users] = self.recommend_block(users, n)
+        executor = resolve_executor(executor, n_jobs)
+        for users, rows in zip(blocks, executor.map_blocks(task, blocks)):
+            out[users] = rows
         return FittedTopN(items=out)

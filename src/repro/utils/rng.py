@@ -39,3 +39,18 @@ def spawn_rng(rng: np.random.Generator, count: int) -> list[np.random.Generator]
         raise ValueError(f"count must be non-negative, got {count}")
     seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
     return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def spawn_seed_sequences(seed: int | None, count: int) -> list[np.random.SeedSequence]:
+    """Derive ``count`` independent child seed sequences from one root seed.
+
+    Thin wrapper over ``numpy.random.SeedSequence.spawn``: child ``i`` is a
+    pure function of ``(seed, i)``, so a parallel fan-out that derives the
+    children *before* scattering work gets identical per-block streams
+    regardless of backend, worker count or completion order.  ``seed=None``
+    draws the root from OS entropy (children are then only reproducible
+    within the call).
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return np.random.SeedSequence(seed).spawn(count)

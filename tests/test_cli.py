@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.cli import build_parser, main
+from repro.exceptions import ConfigurationError
 
 
 def test_parser_knows_every_subcommand():
@@ -187,3 +188,83 @@ def test_cli_recommend_honors_output_file(tmp_path, capsys):
     ) == 0
     assert target.exists()
     assert "f_measure" in target.read_text()
+
+
+# --------------------------------------------------------------------------- #
+# --jobs / --backend: validation and output equivalence
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("option,value", [
+    ("--jobs", "0"),
+    ("--jobs", "-2"),
+    ("--jobs", "two"),
+    ("--block-size", "0"),
+    ("--block-size", "-5"),
+])
+def test_cli_rejects_non_positive_jobs_and_block_size(option, value):
+    with pytest.raises(ConfigurationError, match=option.replace("--", "--")):
+        main(["recommend", "--dataset", "ml100k", "--scale", "0.2", option, value])
+
+
+def test_cli_run_rejects_non_positive_jobs(tmp_path):
+    with pytest.raises(ConfigurationError, match="--jobs"):
+        main(["run", "--config", "whatever.json", "--jobs", "0"])
+
+
+def test_cli_jobs_and_backend_preserve_recommend_output(tmp_path, capsys):
+    serial_csv = tmp_path / "serial.csv"
+    parallel_csv = tmp_path / "parallel.csv"
+    base = [
+        "recommend", "--dataset", "ml100k", "--scale", "0.15",
+        "--arec", "psvd10", "--theta", "thetaG", "--coverage", "dyn",
+        "--sample-size", "25",
+    ]
+    assert main(base + ["--save-recommendations", str(serial_csv)]) == 0
+    assert main(
+        base + [
+            "--jobs", "2", "--backend", "process", "--block-size", "9",
+            "--save-recommendations", str(parallel_csv),
+        ]
+    ) == 0
+    assert serial_csv.read_bytes() == parallel_csv.read_bytes()
+
+
+def test_cli_run_jobs_override_preserves_spec_output(tmp_path, capsys):
+    spec_path = tmp_path / "spec.json"
+    serial_csv = tmp_path / "serial.csv"
+    parallel_csv = tmp_path / "parallel.csv"
+    assert main(
+        [
+            "recommend", "--dataset", "ml100k", "--scale", "0.15",
+            "--arec", "pop", "--theta", "thetaN", "--coverage", "stat",
+            "--sample-size", "25", "--dump-spec", str(spec_path),
+            "--save-recommendations", str(serial_csv),
+        ]
+    ) == 0
+    assert main(
+        [
+            "run", "--config", str(spec_path), "--jobs", "2",
+            "--backend", "thread", "--save-recommendations", str(parallel_csv),
+        ]
+    ) == 0
+    assert serial_csv.read_bytes() == parallel_csv.read_bytes()
+
+
+def test_cli_load_pipeline_jobs_override_serves_identically(tmp_path, capsys):
+    artifact = tmp_path / "artifact"
+    serial_csv = tmp_path / "serial.csv"
+    parallel_csv = tmp_path / "parallel.csv"
+    assert main(
+        [
+            "recommend", "--dataset", "ml100k", "--scale", "0.15",
+            "--arec", "psvd10", "--theta", "thetaG", "--coverage", "dyn",
+            "--sample-size", "25", "--save-pipeline", str(artifact),
+            "--save-recommendations", str(serial_csv),
+        ]
+    ) == 0
+    assert main(
+        [
+            "run", "--load-pipeline", str(artifact), "--jobs", "2",
+            "--backend", "process", "--save-recommendations", str(parallel_csv),
+        ]
+    ) == 0
+    assert serial_csv.read_bytes() == parallel_csv.read_bytes()

@@ -1,0 +1,191 @@
+"""Golden-master regression tests: committed outputs future PRs must not drift.
+
+Each fixture under ``tests/golden/`` is the byte-exact output of one fixed,
+fast experiment configuration:
+
+* ``table4_ml100k.json`` — the Table IV re-ranking comparison rows
+  (all nine algorithms, metrics + ranks) on the ML-100K surrogate,
+* ``figure6_ml100k.json`` — the Figure 6 accuracy/coverage/novelty points,
+* ``ml100k_tiny_metrics.json`` / ``ml100k_tiny_top5.csv`` — the metric
+  report and full top-5 CSV of the ``examples/specs/ml100k_tiny.json``
+  pipeline spec (the same spec the CI smoke jobs execute).
+
+The tests regenerate each output and byte-compare it against the committed
+fixture, so any change to scoring, tie-breaking, sampling, ranking or
+serialization — however subtle — fails loudly.  After an *intentional*
+behaviour change, refresh the fixtures with::
+
+    PYTHONPATH=src python tests/test_golden_master.py --regenerate
+
+and commit the diff alongside the change that caused it.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy
+import pytest
+import scipy
+
+from repro.data.io import save_recommendations_csv
+from repro.experiments.figure6 import run_figure6_for_dataset
+from repro.experiments.table4 import run_table4_for_dataset
+from repro.pipeline import Pipeline
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+TINY_SPEC = Path(__file__).resolve().parents[1] / "examples" / "specs" / "ml100k_tiny.json"
+
+#: One fixed configuration per fixture; changing these invalidates the goldens.
+SCALE = 0.15
+SAMPLE_SIZE = 30
+SEED = 0
+
+
+def _as_json_bytes(payload: object) -> bytes:
+    return (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8")
+
+
+def generate_table4() -> bytes:
+    """Table IV rows on ML-100K: metrics, per-metric ranks, average rank."""
+    rows = run_table4_for_dataset(
+        "ml100k", scale=SCALE, sample_size=SAMPLE_SIZE, seed=SEED
+    )
+    return _as_json_bytes(
+        [
+            {
+                "dataset": row.dataset,
+                "algorithm": row.algorithm,
+                "metrics": row.report.as_dict(),
+                "ranks": dict(row.ranks),
+                "average_rank": row.average_rank,
+            }
+            for row in rows
+        ]
+    )
+
+
+def generate_figure6() -> bytes:
+    """Figure 6 points on ML-100K: one metric dict per algorithm."""
+    points = run_figure6_for_dataset(
+        "ml100k", scale=SCALE, sample_size=SAMPLE_SIZE, seed=SEED
+    )
+    return _as_json_bytes(
+        [
+            {
+                "dataset": point.dataset,
+                "algorithm": point.algorithm,
+                "metrics": point.report.as_dict(),
+            }
+            for point in points
+        ]
+    )
+
+
+def _tiny_pipeline_outputs() -> tuple[bytes, bytes]:
+    pipeline = Pipeline.from_json_file(TINY_SPEC).fit()
+    recommendations = pipeline.recommend_all()
+    metrics = pipeline.evaluate(recommendations).report.as_dict()
+    metrics_bytes = _as_json_bytes({"algorithm": pipeline.algorithm, "metrics": metrics})
+    with tempfile.TemporaryDirectory() as tmp:
+        csv_path = save_recommendations_csv(recommendations.as_dict(), Path(tmp) / "top5.csv")
+        csv_bytes = csv_path.read_bytes()
+    return metrics_bytes, csv_bytes
+
+
+def generate_tiny_metrics() -> bytes:
+    """Metric report of the ml100k_tiny pipeline spec."""
+    return _tiny_pipeline_outputs()[0]
+
+
+def generate_tiny_top5() -> bytes:
+    """Full top-5 CSV of the ml100k_tiny pipeline spec."""
+    return _tiny_pipeline_outputs()[1]
+
+
+FIXTURES = {
+    "table4_ml100k.json": generate_table4,
+    "figure6_ml100k.json": generate_figure6,
+    "ml100k_tiny_metrics.json": generate_tiny_metrics,
+    "ml100k_tiny_top5.csv": generate_tiny_top5,
+}
+
+ENVIRONMENT_FILE = "environment.json"
+
+
+def _major_minor(version: str) -> str:
+    return ".".join(version.split(".")[:2])
+
+
+def _environment() -> dict[str, str]:
+    """The float-determinism-relevant environment the fixtures were built in.
+
+    Byte-exact float output is only guaranteed against the same numpy/scipy
+    line (SVD results can differ in the last ulp across BLAS/LAPACK builds),
+    so drift is enforced per ``major.minor`` of both libraries.
+    """
+    return {
+        "numpy": _major_minor(numpy.__version__),
+        "scipy": _major_minor(scipy.__version__),
+    }
+
+
+def _check(name: str) -> None:
+    path = GOLDEN_DIR / name
+    assert path.exists(), (
+        f"golden fixture {path} is missing; generate it with "
+        "`PYTHONPATH=src python tests/test_golden_master.py --regenerate`"
+    )
+    recorded = json.loads((GOLDEN_DIR / ENVIRONMENT_FILE).read_text(encoding="utf-8"))
+    current = _environment()
+    if recorded != current:
+        pytest.skip(
+            f"golden fixtures were generated under {recorded} but this "
+            f"environment runs {current}; byte equality of float outputs is "
+            "only guaranteed within one numpy/scipy line — regenerate the "
+            "fixtures here to re-arm the gate for this environment"
+        )
+    regenerated = FIXTURES[name]()
+    committed = path.read_bytes()
+    assert regenerated == committed, (
+        f"{name} drifted from its committed golden master. If this change is "
+        "intentional, refresh the fixtures with `PYTHONPATH=src python "
+        "tests/test_golden_master.py --regenerate` and commit the diff."
+    )
+
+
+def test_table4_golden_master():
+    _check("table4_ml100k.json")
+
+
+def test_figure6_golden_master():
+    _check("figure6_ml100k.json")
+
+
+def test_ml100k_tiny_metrics_golden_master():
+    _check("ml100k_tiny_metrics.json")
+
+
+def test_ml100k_tiny_top5_golden_master():
+    _check("ml100k_tiny_top5.csv")
+
+
+def regenerate() -> None:
+    """Rewrite every fixture from the current code (reviewable via git diff)."""
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for name, generate in FIXTURES.items():
+        (GOLDEN_DIR / name).write_bytes(generate())
+        print(f"wrote {GOLDEN_DIR / name}")
+    (GOLDEN_DIR / ENVIRONMENT_FILE).write_bytes(_as_json_bytes(_environment()))
+    print(f"wrote {GOLDEN_DIR / ENVIRONMENT_FILE}")
+
+
+if __name__ == "__main__":
+    if "--regenerate" in sys.argv:
+        regenerate()
+    else:
+        print(__doc__)
+        print("pass --regenerate to rewrite the fixtures")

@@ -1,0 +1,205 @@
+"""Hypothesis property tests: top-N tie-break invariants and sharded equivalence.
+
+Two families of properties back the batched/parallel engine:
+
+* the canonical tie-breaking contract of :mod:`repro.utils.topn`
+  (decreasing score, increasing index on ties, non-finite never selected,
+  ``-1`` right-padding) checked against a brute-force reference ordering;
+* batch-vs-serial-vs-parallel equivalence — splitting any score matrix into
+  arbitrary user blocks and fanning the blocks out to any number of workers
+  reassembles the exact serial result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.data.dataset import RatingDataset
+from repro.parallel import SerialExecutor, ThreadExecutor
+from repro.recommenders.popularity import MostPopular
+from repro.utils.rng import spawn_seed_sequences
+from repro.utils.topn import iter_user_blocks, top_n_indices, top_n_matrix
+
+FAST = settings(max_examples=40, deadline=None)
+SLOWER = settings(max_examples=15, deadline=None)
+
+#: Scores drawn from a tiny value pool so exact ties are the norm, plus the
+#: non-finite values the selection must never pick.
+TIED_SCORES = st.one_of(
+    st.integers(-3, 3).map(float),
+    st.sampled_from([np.inf, -np.inf, np.nan]),
+)
+
+
+def reference_top_n(scores: np.ndarray, n: int) -> np.ndarray:
+    """Brute-force canonical ordering: (-score, index) over finite entries."""
+    finite = np.flatnonzero(np.isfinite(scores))
+    order = finite[np.lexsort((finite, -scores[finite]))]
+    return order[:n].astype(np.int64)
+
+
+# --------------------------------------------------------------------------- #
+# top_n_indices / top_n_matrix tie-break invariants
+# --------------------------------------------------------------------------- #
+@FAST
+@given(
+    scores=hnp.arrays(dtype=np.float64, shape=st.integers(0, 60), elements=TIED_SCORES),
+    n=st.integers(1, 70),
+)
+def test_top_n_indices_matches_reference_ordering(scores, n):
+    got = top_n_indices(scores, n)
+    np.testing.assert_array_equal(got, reference_top_n(scores, n))
+
+
+@FAST
+@given(
+    scores=hnp.arrays(dtype=np.float64, shape=st.integers(1, 60), elements=TIED_SCORES),
+    n=st.integers(1, 70),
+)
+def test_top_n_indices_stability_and_exclusion_invariants(scores, n):
+    got = top_n_indices(scores, n)
+    # Never a non-finite entry, never a duplicate, never more than n.
+    assert got.size <= n
+    assert np.isfinite(scores[got]).all()
+    assert len(set(got.tolist())) == got.size
+    # Decreasing score; exact ties ordered by increasing index.
+    picked = scores[got]
+    assert (np.diff(picked) <= 0).all()
+    for left, right in zip(got[:-1], got[1:]):
+        if scores[left] == scores[right]:
+            assert left < right
+
+
+@FAST
+@given(
+    scores=hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(0, 12), st.integers(1, 40)),
+        elements=TIED_SCORES,
+    ),
+    n=st.integers(1, 45),
+)
+def test_top_n_matrix_rows_equal_per_vector_selection_with_padding(scores, n):
+    got = top_n_matrix(scores, n)
+    assert got.shape == (scores.shape[0], n)
+    for row in range(scores.shape[0]):
+        expected = reference_top_n(scores[row], n)
+        np.testing.assert_array_equal(got[row, : expected.size], expected)
+        # Right-padding is -1 and nothing but -1.
+        assert (got[row, expected.size:] == -1).all()
+
+
+@FAST
+@given(n_users=st.integers(0, 200), block_size=st.integers(1, 50))
+def test_iter_user_blocks_partitions_the_user_range(n_users, block_size):
+    blocks = list(iter_user_blocks(n_users, block_size))
+    assert all(1 <= b.size <= block_size for b in blocks)
+    if blocks:
+        np.testing.assert_array_equal(np.concatenate(blocks), np.arange(n_users))
+    else:
+        assert n_users == 0
+
+
+# --------------------------------------------------------------------------- #
+# Batch vs serial vs parallel equivalence
+# --------------------------------------------------------------------------- #
+class _BlockTopN:
+    """Block task over a fixed score matrix (the sharded engine in miniature)."""
+
+    def __init__(self, scores: np.ndarray, n: int) -> None:
+        self.scores = scores
+        self.n = n
+
+    def __call__(self, users: np.ndarray) -> np.ndarray:
+        return top_n_matrix(self.scores[users], self.n)
+
+
+@SLOWER
+@given(
+    scores=hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 25), st.integers(1, 30)),
+        elements=TIED_SCORES,
+    ),
+    n=st.integers(1, 8),
+    block_size=st.integers(1, 30),
+    n_jobs=st.sampled_from([1, 2, 4]),
+)
+def test_blocked_parallel_selection_reassembles_serial_result(
+    scores, n, block_size, n_jobs
+):
+    n_users = scores.shape[0]
+    full = top_n_matrix(scores, n)
+    blocks = list(iter_user_blocks(n_users, block_size))
+    task = _BlockTopN(scores, n)
+    for executor in (SerialExecutor(), ThreadExecutor(n_jobs)):
+        out = np.empty_like(full)
+        for users, rows in zip(blocks, executor.map_blocks(task, blocks)):
+            out[users] = rows
+        np.testing.assert_array_equal(out, full)
+
+
+@st.composite
+def small_interaction_sets(draw):
+    n_users = draw(st.integers(2, 12))
+    n_items = draw(st.integers(3, 15))
+    pairs = draw(
+        st.sets(
+            st.tuples(st.integers(0, n_users - 1), st.integers(0, n_items - 1)),
+            min_size=n_users,  # at least ~one rating somewhere per user
+            max_size=n_users * n_items // 2,
+        )
+    )
+    triples = [(u, i, float(draw(st.integers(1, 5)))) for u, i in sorted(pairs)]
+    return n_users, n_items, triples
+
+
+@SLOWER
+@given(
+    data=small_interaction_sets(),
+    n=st.integers(1, 6),
+    block_size=st.integers(1, 16),
+    n_jobs=st.sampled_from([1, 2, 3]),
+)
+def test_recommender_batch_serial_parallel_equivalence(data, n, block_size, n_jobs):
+    n_users, n_items, triples = data
+    dataset = RatingDataset(
+        np.array([u for u, _, _ in triples], dtype=np.int64),
+        np.array([i for _, i, _ in triples], dtype=np.int64),
+        np.array([r for _, _, r in triples], dtype=np.float64),
+        n_users=n_users,
+        n_items=n_items,
+        name="fuzz",
+    )
+    model = MostPopular().fit(dataset)
+
+    # Reference: the historical one-user-at-a-time loop.
+    loop = np.full((n_users, n), -1, dtype=np.int64)
+    for user in range(n_users):
+        items = model.recommend(user, n)
+        loop[user, : items.size] = items
+
+    batched = model.recommend_all(n, block_size=block_size).items
+    np.testing.assert_array_equal(batched, loop)
+    parallel = model.recommend_all(
+        n, block_size=block_size, executor=ThreadExecutor(n_jobs)
+    ).items
+    np.testing.assert_array_equal(parallel, loop)
+
+
+@FAST
+@given(seed=st.integers(0, 2**32 - 1), count=st.integers(0, 20))
+def test_spawn_seed_sequences_are_prefix_stable(seed, count):
+    longer = spawn_seed_sequences(seed, count + 5)
+    for position, seq in enumerate(spawn_seed_sequences(seed, count)):
+        assert (
+            np.random.default_rng(seq).integers(0, 2**32, 4).tolist()
+            == np.random.default_rng(longer[position]).integers(0, 2**32, 4).tolist()
+        )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-q"])
