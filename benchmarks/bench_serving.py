@@ -1,0 +1,153 @@
+"""Serving benchmark: artifact compile throughput and lookup latency.
+
+Builds a pipeline on the synthetic ML-100K profile, persists it, compiles a
+top-N artifact, and measures
+
+* **compile throughput** — users/second through ``compile_artifact``
+  (dominated by the batched ``recommend_all`` pass);
+* **store lookup latency** — microseconds per single-user ``top_n`` against
+  the memory-mapped artifact, and per batched 100-user block;
+* **fallback latency** — the first uncached live-scoring fallback (builds a
+  full ``recommend_all`` table) vs. subsequent LRU-cached fallback lookups,
+  to show what the artifact saves.
+
+Every measured path is verified byte-identical to ``Pipeline.recommend_all``
+before timing.  Results are printed and written to
+``benchmarks/output/bench_serving.txt``.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py               # full scale
+    PYTHONPATH=src python benchmarks/bench_serving.py --scale 0.1   # CI smoke run
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.pipeline import (
+    ComponentSpec,
+    DatasetSpec,
+    EvaluationSpec,
+    Pipeline,
+    PipelineSpec,
+)
+from repro.serving import RecommendationStore, compile_artifact
+
+N = 5
+
+
+def _time(fn, repeats: int = 1):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_benchmark(scale: float, repeats: int, jobs: int, lookups: int) -> list[str]:
+    """Execute the compile/lookup benchmark and return the report lines."""
+    lines = [
+        "serving benchmark (compile throughput + lookup latency)",
+        f"scale={scale} repeats={repeats} jobs={jobs} lookups={lookups} n={N}",
+        "",
+    ]
+    spec = PipelineSpec(
+        recommender=ComponentSpec("psvd10"),
+        dataset=DatasetSpec(key="ml100k", scale=scale),
+        evaluation=EvaluationSpec(n=N),
+        seed=0,
+    )
+    pipeline = Pipeline(spec).fit()
+    n_users = pipeline.split.train.n_users
+    reference = pipeline.recommend_all(N).items
+
+    with tempfile.TemporaryDirectory() as tmp:
+        pipeline_dir = Path(tmp) / "pipeline"
+        artifact_dir = Path(tmp) / "artifact"
+        pipeline.save(pipeline_dir)
+
+        compile_s, _ = _time(
+            lambda: compile_artifact(
+                pipeline_dir, artifact_dir, shard_size=1024, n_jobs=jobs
+            ),
+            repeats=repeats,
+        )
+        lines.append(
+            f"compile: {n_users} users in {compile_s:.3f}s "
+            f"({n_users / compile_s:,.0f} users/s, jobs={jobs})"
+        )
+
+        store = RecommendationStore(artifact_dir, pipeline=pipeline_dir)
+        users = np.arange(n_users)
+        np.testing.assert_array_equal(store.top_n(users, N), reference)
+
+        rng = np.random.default_rng(0)
+        sample = rng.integers(0, n_users, size=lookups)
+        single_s, _ = _time(
+            lambda: [store.top_n(int(u), N) for u in sample], repeats=repeats
+        )
+        lines.append(
+            f"store single-user lookup: {single_s / lookups * 1e6:,.1f} us/lookup "
+            f"({lookups / single_s:,.0f} lookups/s)"
+        )
+
+        batch = sample[:100]
+        batch_s, _ = _time(lambda: store.top_n(batch, N), repeats=max(repeats, 3))
+        lines.append(
+            f"store 100-user batch lookup: {batch_s * 1e3:,.3f} ms/batch "
+            f"({batch_s / batch.size * 1e6:,.1f} us/row)"
+        )
+
+        # Fallback: n bigger than compiled forces live scoring.
+        cold_s, _ = _time(lambda: store.top_n(0, N + 1))
+        warm_s, _ = _time(
+            lambda: [store.top_n(int(u), N + 1) for u in sample], repeats=repeats
+        )
+        np.testing.assert_array_equal(
+            store.top_n(users, N + 1), pipeline.recommend_all(N + 1).items
+        )
+        lines.append(
+            f"fallback first lookup (builds recommend_all({N + 1}) table): {cold_s:.3f}s"
+        )
+        lines.append(
+            f"fallback cached lookup: {warm_s / lookups * 1e6:,.1f} us/lookup"
+        )
+        speedup = (cold_s) / (single_s / lookups)
+        lines.append(
+            f"artifact lookup vs cold live scoring: {speedup:,.0f}x cheaper"
+        )
+        lines.append("")
+        lines.append("all measured paths verified byte-identical to Pipeline.recommend_all")
+    return lines
+
+
+def main(argv=None) -> int:
+    """CLI entry point; writes the report and returns an exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--lookups", type=int, default=1000)
+    args = parser.parse_args(argv)
+
+    lines = run_benchmark(args.scale, args.repeats, args.jobs, args.lookups)
+    report = "\n".join(lines)
+    print(report)
+    output = Path(__file__).resolve().parent / "output" / "bench_serving.txt"
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(report + "\n", encoding="utf-8")
+    print(f"\nwritten to {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -82,6 +82,11 @@ from repro.parallel import (
     get_executor,
     resolve_executor,
 )
+from repro.serving import (
+    RecommendationStore,
+    compile_artifact,
+    load_manifest,
+)
 
 __version__ = "1.0.0"
 
@@ -158,4 +163,8 @@ __all__ = [
     "ProcessExecutor",
     "get_executor",
     "resolve_executor",
+    # serving
+    "RecommendationStore",
+    "compile_artifact",
+    "load_manifest",
 ]

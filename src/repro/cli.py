@@ -24,6 +24,7 @@ and can persist/serve fitted pipelines.
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from pathlib import Path
 from typing import Callable, Sequence
@@ -66,12 +67,34 @@ def _positive_int(option: str) -> Callable[[str], int]:
     """
 
     def parse(text: str) -> int:
+        """Parse one occurrence of the option, failing with the flag named."""
         try:
             value = int(text)
         except ValueError:
             raise ConfigurationError(f"{option} must be an integer, got {text!r}") from None
         if value < 1:
             raise ConfigurationError(f"{option} must be >= 1, got {value}")
+        return value
+
+    return parse
+
+
+def _positive_float(option: str) -> Callable[[str], float]:
+    """Argparse ``type`` validating strictly positive float options.
+
+    Same rationale as :func:`_positive_int`: ``--scale 0`` used to survive
+    argument parsing and only blow up deep inside dataset synthesis with an
+    opaque error; now it raises :class:`ConfigurationError` naming the flag.
+    """
+
+    def parse(text: str) -> float:
+        """Parse one occurrence of the option, failing with the flag named."""
+        try:
+            value = float(text)
+        except ValueError:
+            raise ConfigurationError(f"{option} must be a number, got {text!r}") from None
+        if not math.isfinite(value) or value <= 0:
+            raise ConfigurationError(f"{option} must be a positive finite number, got {value}")
         return value
 
     return parse
@@ -88,7 +111,12 @@ def _emit(table: ExperimentTable, output: str | None) -> None:
 
 
 def _add_common_arguments(parser: argparse.ArgumentParser, *, with_datasets: bool = True) -> None:
-    parser.add_argument("--scale", type=float, default=0.35, help="surrogate dataset scale factor")
+    parser.add_argument(
+        "--scale",
+        type=_positive_float("--scale"),
+        default=0.35,
+        help="surrogate dataset scale factor (must be > 0)",
+    )
     parser.add_argument("--seed", type=int, default=0, help="split / sampling seed")
     parser.add_argument("--output", type=str, default=None, help="write the rendered table to this file")
     parser.add_argument(
@@ -332,6 +360,44 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_compile(args: argparse.Namespace) -> int:
+    """Compile a saved pipeline into a serveable top-N artifact."""
+    from repro.serving import compile_artifact
+
+    directory = compile_artifact(
+        args.pipeline,
+        args.artifact,
+        n=args.n,
+        shard_size=args.shard_size,
+        max_users=args.max_users,
+        block_size=args.block_size,
+        n_jobs=args.jobs,
+        backend=args.backend,
+    )
+    from repro.serving import load_manifest
+
+    manifest = load_manifest(directory)
+    print(
+        f"compiled top-{manifest['n']} artifact for {manifest['n_users']}/"
+        f"{manifest['n_users_total']} users ({len(manifest['shards'])} shard(s)) "
+        f"of {manifest['algorithm']} to {directory}"
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a compiled artifact over HTTP (with optional live fallback)."""
+    from repro.serving import serve
+
+    return serve(
+        args.artifact,
+        pipeline=args.pipeline,
+        host=args.host,
+        port=args.port,
+        fallback_cache_size=args.fallback_cache_size,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -437,6 +503,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="save the fitted pipeline (spec + arrays) to this directory",
     )
     run.set_defaults(handler=_cmd_run)
+
+    compile_cmd = subparsers.add_parser(
+        "compile",
+        help="precompute a saved pipeline's top-N into a serveable artifact",
+    )
+    compile_cmd.add_argument(
+        "--pipeline", type=str, required=True,
+        help="directory of a fitted pipeline saved with --save-pipeline",
+    )
+    compile_cmd.add_argument(
+        "--artifact", type=str, required=True,
+        help="output directory for the compiled artifact",
+    )
+    compile_cmd.add_argument(
+        "--n", type=_positive_int("--n"), default=None,
+        help="top-N size to compile (default: the spec's evaluation.n)",
+    )
+    compile_cmd.add_argument(
+        "--shard-size", type=_positive_int("--shard-size"), default=None,
+        help="users per .npy shard file (default: 4096)",
+    )
+    compile_cmd.add_argument(
+        "--max-users", type=_positive_int("--max-users"), default=None,
+        help="store only the first K users (the rest serve via live fallback)",
+    )
+    compile_cmd.add_argument(
+        "--block-size", type=_positive_int("--block-size"), default=None,
+        help="users scored per matrix block during the compile pass",
+    )
+    compile_cmd.add_argument(
+        "--jobs", type=_positive_int("--jobs"), default=None,
+        help="workers the compile pass fans user blocks out to",
+    )
+    compile_cmd.add_argument(
+        "--backend", choices=list(EXECUTOR_BACKENDS), default=None,
+        help="executor backend for the compile pass",
+    )
+    compile_cmd.set_defaults(handler=_cmd_compile)
+
+    serve_cmd = subparsers.add_parser(
+        "serve", help="serve a compiled artifact over HTTP (stdlib http.server)"
+    )
+    serve_cmd.add_argument(
+        "--artifact", type=str, required=True,
+        help="directory of an artifact written by `repro compile`",
+    )
+    serve_cmd.add_argument(
+        "--pipeline", type=str, default=None,
+        help="saved pipeline directory used as live fallback for lookups "
+        "the artifact does not cover",
+    )
+    serve_cmd.add_argument("--host", type=str, default="127.0.0.1", help="bind address")
+    serve_cmd.add_argument(
+        "--port", type=int, default=8000, help="bind port (0 picks an ephemeral port)"
+    )
+    serve_cmd.add_argument(
+        "--fallback-cache-size", type=_positive_int("--fallback-cache-size"), default=2,
+        help="distinct n values whose live recommend_all tables stay cached",
+    )
+    serve_cmd.set_defaults(handler=_cmd_serve)
 
     return parser
 

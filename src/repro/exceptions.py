@@ -38,3 +38,12 @@ class OptimizationError(ReproError):
 
 class EvaluationError(ReproError):
     """Raised when an evaluation request is inconsistent with the data."""
+
+
+class ServingError(ReproError):
+    """Raised when a serving lookup cannot be answered.
+
+    Covers requests outside the compiled artifact's coverage when no live
+    fallback pipeline is attached, and user indices outside the compiled
+    pipeline's universe.
+    """

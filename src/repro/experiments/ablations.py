@@ -59,6 +59,7 @@ def run_oslg_vs_greedy(
     )
 
     def spec_for(sample_size: int, optimizer: str):
+        """The ablation's spec with one (sample_size, optimizer) combination."""
         return ganc_spec(
             dataset=dataset_key, arec=arec_name, theta="thetaG", coverage="dyn",
             n=n, sample_size=sample_size, optimizer=optimizer, scale=scale,

@@ -219,9 +219,11 @@ class GANC:
         train = self._train
 
         def accuracy_scores(user: int) -> np.ndarray:
+            """Unit accuracy scores a(i) of one user."""
             return self.accuracy.unit_scores(user, n)
 
         def exclusions(user: int) -> np.ndarray:
+            """Train items of one user (excluded from top-N)."""
             return train.user_items(user)
 
         # Handle-backed batch providers: identical rows to the closures they

@@ -184,6 +184,7 @@ class OSLGOptimizer:
         """Adapt a per-user score callable to the batched provider interface."""
 
         def matrix(users: np.ndarray) -> np.ndarray:
+            """Stack the per-user accuracy closure into block rows."""
             return np.stack(
                 [np.asarray(accuracy_scores(int(u)), dtype=np.float64) for u in users]
             )
@@ -195,6 +196,7 @@ class OSLGOptimizer:
         """Adapt a per-user exclusion callable to flattened block pairs."""
 
         def pairs(users: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            """Flatten the per-user exclusion closure into (rows, cols) pairs."""
             per_user = [np.asarray(exclusions(int(u)), dtype=np.int64) for u in users]
             counts = np.array([e.size for e in per_user], dtype=np.int64)
             if counts.sum() == 0:

@@ -48,6 +48,7 @@ from repro.parallel.tasks import (
     IndependentAssignTask,
     RecommendBlockTask,
     SnapshotAssignTask,
+    TopNScoresTask,
     UnitScoresProvider,
 )
 
@@ -63,6 +64,7 @@ __all__ = [
     "ComponentHandle",
     "DatasetHandle",
     "RecommendBlockTask",
+    "TopNScoresTask",
     "UnitScoresProvider",
     "ExclusionPairsProvider",
     "IndependentAssignTask",

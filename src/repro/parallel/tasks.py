@@ -79,6 +79,28 @@ class RecommendBlockTask(_HandleSwapped):
         return self._component().recommend_block(users, self.n)
 
 
+class TopNScoresTask(_HandleSwapped):
+    """Fan-out unit of artifact compilation (:mod:`repro.serving`).
+
+    Given the already-selected top-N item rows of every user, gathers the
+    recommender's raw :meth:`predict_matrix` scores of exactly those items,
+    one block of users at a time.  ``-1`` padding gathers to ``NaN``.  The
+    item table is a small ``(n_users, n)`` int64 array and pickles as-is;
+    the recommender ships as a state handle like every other task.
+    """
+
+    def __init__(self, recommender: Any, items: np.ndarray) -> None:
+        super().__init__(recommender)
+        self.items = np.asarray(items, dtype=np.int64)
+
+    def __call__(self, users: np.ndarray) -> np.ndarray:
+        block_items = self.items[users]
+        matrix = self._component().predict_matrix(users)
+        valid = block_items >= 0
+        gathered = np.take_along_axis(matrix, np.where(valid, block_items, 0), axis=1)
+        return np.where(valid, gathered, np.nan)
+
+
 class UnitScoresProvider(_HandleSwapped):
     """Batched accuracy provider ``users -> unit_scores_batch`` that pickles.
 

@@ -147,6 +147,7 @@ def load_split_npz(path: str | Path) -> TrainTestSplit:
             item_ids = payload["item_ids"].tolist()
 
             def build(prefix: str, name: str) -> RatingDataset:
+                """Rebuild one side of the split from its prefixed arrays."""
                 return RatingDataset(
                     payload[f"{prefix}_users"],
                     payload[f"{prefix}_items"],

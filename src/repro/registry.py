@@ -126,6 +126,7 @@ def register(
     _check_kind(kind)
 
     def decorator(cls: type) -> type:
+        """Register ``cls`` under every alias and return it unchanged."""
         for alias in (name, *aliases):
             key = (kind, alias.strip().lower())
             if key in _ENTRIES:
@@ -252,7 +253,9 @@ def legacy_view(kind: str) -> Mapping[str, Callable[..., Any]]:
     """
 
     def factory(name: str) -> Callable[..., Any]:
+        """A zero-config builder bound to one registered name."""
         def build(**kwargs: Any) -> Any:
+            """Instantiate the bound component with ``kwargs`` overrides."""
             return create(kind, name, **kwargs)
 
         return build

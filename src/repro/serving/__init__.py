@@ -1,0 +1,62 @@
+"""Serving layer: compiled top-N artifacts and an HTTP lookup service.
+
+The paper's framework is an *offline precompute* design — top-N lists are
+generated in batch, then looked up per user.  PRs 1–3 built the offline
+half (batched scoring, persistable pipelines, parallel fan-out); this
+package is the online half:
+
+:mod:`repro.serving.artifact`
+    :func:`compile_artifact` runs a saved pipeline's batched
+    ``recommend_all`` once — fanned out over :mod:`repro.parallel` — and
+    writes memory-mappable ``.npy`` shards of item ids + scores plus a
+    ``manifest.json`` (spec hash, N, shard layout, numpy/scipy line).
+:mod:`repro.serving.store`
+    :class:`RecommendationStore` memory-maps the shards and answers
+    ``top_n(users, n)`` with O(1) row reads, falling back to a live
+    :class:`~repro.pipeline.Pipeline` (LRU-cached ``recommend_all`` tables)
+    for users or ``n`` the artifact does not cover.
+:mod:`repro.serving.service`
+    A stdlib ``http.server`` service (``repro serve``) exposing
+    ``GET /recommend``, ``GET /healthz`` and ``GET /manifest``, with warm
+    reload on ``SIGHUP``.
+
+Every lookup — artifact row or fallback — returns exactly the bytes
+``Pipeline.recommend_all`` produces for the same persisted pipeline
+(asserted in ``tests/test_serving.py`` for every registered recommender
+family).
+"""
+
+from repro.serving.artifact import (
+    ARTIFACT_FORMAT_VERSION,
+    DEFAULT_SHARD_SIZE,
+    compile_artifact,
+    load_manifest,
+    serving_environment,
+    spec_hash,
+)
+from repro.serving.service import (
+    RecommendationHandler,
+    RecommendationServer,
+    build_server,
+    install_sighup_reload,
+    serve,
+    start_in_thread,
+)
+from repro.serving.store import RecommendationStore, open_store
+
+__all__ = [
+    "ARTIFACT_FORMAT_VERSION",
+    "DEFAULT_SHARD_SIZE",
+    "compile_artifact",
+    "load_manifest",
+    "serving_environment",
+    "spec_hash",
+    "RecommendationStore",
+    "open_store",
+    "RecommendationServer",
+    "RecommendationHandler",
+    "build_server",
+    "start_in_thread",
+    "install_sighup_reload",
+    "serve",
+]

@@ -1,0 +1,237 @@
+"""A stdlib HTTP service over a :class:`RecommendationStore`.
+
+``repro serve --artifact DIR [--pipeline DIR]`` stands this server up.  It
+is deliberately dependency-free (``http.server`` + ``json``): the store does
+O(1) memory-mapped row reads, so a threading server is enough to saturate
+the lookup path, and the whole service remains runnable in any environment
+that can import :mod:`repro`.
+
+Endpoints
+---------
+``GET /recommend?user=U[&n=N]``
+    The top-``N`` items of user ``U`` as JSON:
+    ``{"user", "n", "items", "scores", "source"}``.  ``items`` is trimmed of
+    ``-1`` padding; ``scores`` holds the artifact's diagnostic scores (or
+    ``null`` when the row came from live fallback); ``source`` is
+    ``"artifact"`` or ``"live"``.
+``GET /healthz``
+    Liveness plus serving counters: uptime, rows served from the artifact
+    vs. the fallback pipeline, and the number of warm reloads.
+``GET /manifest``
+    The artifact's ``manifest.json`` verbatim.
+
+Warm reload
+-----------
+``SIGHUP`` re-reads the manifest and drops shard maps and fallback caches
+(:meth:`RecommendationStore.reload`) without restarting the process, so an
+artifact recompiled in place starts serving immediately.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+import numpy as np
+
+from repro.exceptions import ReproError, ServingError
+from repro.pipeline.pipeline import Pipeline
+from repro.serving.store import RecommendationStore
+
+
+def _jsonable_row(items: np.ndarray, scores: np.ndarray | None) -> tuple[list[int], list[float | None] | None]:
+    """Trim ``-1`` padding and convert NaN scores to ``null``-able floats."""
+    valid = items >= 0
+    out_items = [int(i) for i in items[valid]]
+    if scores is None:
+        return out_items, None
+    out_scores: list[float | None] = [
+        None if not np.isfinite(s) else float(s) for s in scores[valid]
+    ]
+    return out_items, out_scores
+
+
+class RecommendationServer(ThreadingHTTPServer):
+    """Threading HTTP server bound to one :class:`RecommendationStore`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        store: RecommendationStore,
+        *,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, RecommendationHandler)
+        self.store = store
+        self.verbose = verbose
+        self.started = time.monotonic()
+        self.reloads = 0
+
+    def reload(self) -> None:
+        """Warm-reload the store (the SIGHUP hook); never raises."""
+        try:
+            self.store.reload()
+            self.reloads += 1
+        except ReproError as exc:  # pragma: no cover - depends on disk state
+            # A broken artifact mid-rewrite must not kill a serving process;
+            # the old mapped shards keep serving until the next HUP.
+            print(f"repro serve: reload failed, keeping previous state: {exc}")
+
+
+class RecommendationHandler(BaseHTTPRequestHandler):
+    """Routes ``/recommend``, ``/healthz`` and ``/manifest``."""
+
+    server: RecommendationServer
+    server_version = "repro-serve/1"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        """Suppress per-request logging unless the owning server is verbose."""
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send_json(self, payload: dict[str, Any], status: int = 200) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, message: str, status: int) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming convention
+        """Dispatch a GET request to the matching endpoint."""
+        parsed = urlsplit(self.path)
+        try:
+            if parsed.path == "/recommend":
+                self._handle_recommend(parse_qs(parsed.query))
+            elif parsed.path == "/healthz":
+                self._handle_healthz()
+            elif parsed.path == "/manifest":
+                self._send_json(self.server.store.manifest)
+            else:
+                self._error(f"unknown path {parsed.path!r}", 404)
+        except ServingError as exc:
+            self._error(str(exc), 404)
+        except ReproError as exc:
+            self._error(str(exc), 400)
+
+    def _handle_recommend(self, query: dict[str, list[str]]) -> None:
+        if "user" not in query:
+            self._error("missing required query parameter 'user'", 400)
+            return
+        try:
+            user = int(query["user"][0])
+            n = int(query["n"][0]) if "n" in query else None
+        except ValueError:
+            self._error("'user' and 'n' must be integers", 400)
+            return
+        store = self.server.store
+        items, scores, source = store.lookup(user, n)
+        out_items, out_scores = _jsonable_row(items, scores)
+        self._send_json(
+            {
+                "user": user,
+                "n": store.n if n is None else n,
+                "items": out_items,
+                "scores": out_scores,
+                "source": source,
+            }
+        )
+
+    def _handle_healthz(self) -> None:
+        store = self.server.store
+        self._send_json(
+            {
+                "status": "ok",
+                "artifact": str(store.artifact_dir),
+                "algorithm": store.manifest.get("algorithm"),
+                "n": store.n,
+                "coverage": store.coverage,
+                "n_users_total": store.n_users_total,
+                "fallback": store.has_fallback,
+                "uptime_seconds": round(time.monotonic() - self.server.started, 3),
+                "reloads": self.server.reloads,
+                "served": dict(store.stats),
+            }
+        )
+
+
+def build_server(
+    artifact_dir: str | Path,
+    *,
+    pipeline: Pipeline | str | Path | None = None,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    fallback_cache_size: int = 2,
+    verbose: bool = False,
+) -> RecommendationServer:
+    """Construct a (not yet serving) server; ``port=0`` picks an ephemeral port."""
+    store = RecommendationStore(
+        artifact_dir, pipeline=pipeline, fallback_cache_size=fallback_cache_size
+    )
+    return RecommendationServer((host, port), store, verbose=verbose)
+
+
+def start_in_thread(server: RecommendationServer) -> threading.Thread:
+    """Run ``serve_forever`` in a daemon thread (tests, smoke scripts)."""
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return thread
+
+
+def install_sighup_reload(server: RecommendationServer) -> bool:
+    """Bind SIGHUP to a warm reload; returns False where that is impossible.
+
+    Signal handlers can only be installed from the main thread (and SIGHUP
+    does not exist on Windows), so callers embedding the server elsewhere
+    fall back to calling :meth:`RecommendationServer.reload` directly.
+    """
+    if not hasattr(signal, "SIGHUP"):
+        return False
+    if threading.current_thread() is not threading.main_thread():
+        return False
+    signal.signal(signal.SIGHUP, lambda signum, frame: server.reload())
+    return True
+
+
+def serve(
+    artifact_dir: str | Path,
+    *,
+    pipeline: Pipeline | str | Path | None = None,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    fallback_cache_size: int = 2,
+    verbose: bool = True,
+) -> int:
+    """Blocking entry point behind ``repro serve``; returns an exit code."""
+    server = build_server(
+        artifact_dir,
+        pipeline=pipeline,
+        host=host,
+        port=port,
+        fallback_cache_size=fallback_cache_size,
+        verbose=verbose,
+    )
+    hup = install_sighup_reload(server)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"repro serve: listening on http://{bound_host}:{bound_port}")
+    print(f"  artifact: {server.store.artifact_dir}  ({server.store!r})")
+    if hup:
+        print("  SIGHUP triggers a warm reload")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("repro serve: shutting down")
+    finally:
+        server.server_close()
+    return 0

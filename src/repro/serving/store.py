@@ -1,0 +1,326 @@
+"""Memory-mapped lookup store over a compiled top-N artifact.
+
+A :class:`RecommendationStore` is the online half of the paper's offline
+precompute design: the artifact compiler (:mod:`repro.serving.artifact`)
+batches the expensive assignment once, and the store answers
+"what are user ``u``'s recommendations?" with an O(1) memory-mapped row
+read — no model, no scoring, no Python process holding the table in RAM.
+
+Lookups that the artifact cannot answer — users beyond its coverage, a
+top-``n`` size it was not compiled for — fall back to a live
+:class:`~repro.pipeline.Pipeline` when one is attached: the store runs
+``pipeline.recommend_all(n)`` once per requested ``n`` and keeps the
+resulting tables in a small LRU cache, so the fallback serves the *same
+bytes* live scoring would (per-user shortcuts such as ``Pipeline.recommend``
+are deliberately not used — for dynamic-coverage GANC they answer against
+the current coverage state, not the full-collection assignment).
+
+Thread safety and reload atomicity: everything derived from one artifact
+read — manifest, shard maps, fallback pipeline and caches — lives in a
+single immutable :class:`_StoreState` that :meth:`RecommendationStore.reload`
+builds completely *before* swapping it in: the spec hash is validated and
+every shard listed in the manifest is memory-mapped eagerly and
+shape-checked against the manifest's layout.  A request thread captures the
+state once and works against that snapshot, so a warm reload can never mix
+two artifact layouts inside one lookup, and a failed reload leaves the
+previous state fully intact.  (Mapping is cheap — pages load lazily — and
+doing it at reload time means a recompile-in-place can never be observed
+half-written: the compiler replaces files via rename and writes the
+manifest last.)
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataFormatError, ServingError
+from repro.pipeline.pipeline import Pipeline
+from repro.serving.artifact import _resolve_pipeline, load_manifest, spec_hash
+
+
+class _StoreState:
+    """One consistent view of the artifact: manifest + shard maps + fallback.
+
+    Instances are built fully before being swapped into the store — every
+    shard the manifest lists is mapped and shape-checked here, so a state
+    can never lazily map a file that a later recompile replaced with a
+    different layout.  Only the fallback-table cache mutates afterwards,
+    under the owning store's lock.
+    """
+
+    __slots__ = ("manifest", "pipeline", "shards", "fallback_tables")
+
+    def __init__(
+        self,
+        artifact_dir: Path,
+        manifest: dict[str, Any],
+        pipeline: Pipeline | None,
+    ) -> None:
+        self.manifest = manifest
+        self.pipeline = pipeline
+        self.fallback_tables: OrderedDict[int, np.ndarray] = OrderedDict()
+        n = int(manifest["n"])
+        self.shards: list[tuple[np.ndarray, np.ndarray]] = []
+        for entry in manifest["shards"]:
+            items = np.load(artifact_dir / entry["items"], mmap_mode="r")
+            scores = np.load(artifact_dir / entry["scores"], mmap_mode="r")
+            expected = (int(entry["stop"]) - int(entry["start"]), n)
+            if tuple(items.shape) != expected or tuple(scores.shape) != expected:
+                raise DataFormatError(
+                    f"shard {entry['items']} in {artifact_dir} has shape "
+                    f"{tuple(items.shape)}/{tuple(scores.shape)}, expected {expected}; "
+                    "the artifact looks half-recompiled — re-run repro compile"
+                )
+            self.shards.append((items, scores))
+
+
+class RecommendationStore:
+    """Serves ``top_n`` lookups from a compiled artifact with live fallback.
+
+    Parameters
+    ----------
+    artifact_dir:
+        Directory written by :func:`repro.serving.compile_artifact`.
+    pipeline:
+        Optional live fallback: a fitted :class:`~repro.pipeline.Pipeline`
+        or a saved-pipeline directory.  Its spec hash must match the one the
+        artifact was compiled from.
+    fallback_cache_size:
+        Number of distinct ``n`` values whose live ``recommend_all`` tables
+        are kept in the LRU cache.
+    """
+
+    def __init__(
+        self,
+        artifact_dir: str | Path,
+        *,
+        pipeline: Pipeline | str | Path | None = None,
+        fallback_cache_size: int = 2,
+    ) -> None:
+        if fallback_cache_size < 1:
+            raise ConfigurationError(
+                f"fallback_cache_size must be >= 1, got {fallback_cache_size}"
+            )
+        self.artifact_dir = Path(artifact_dir)
+        self._fallback_cache_size = int(fallback_cache_size)
+        self._lock = threading.Lock()
+        self._pipeline_source = pipeline
+        #: Cumulative serving counters (survive warm reloads).
+        self.stats: dict[str, int] = {
+            "artifact_rows": 0, "fallback_rows": 0, "fallback_builds": 0,
+        }
+        self.reload()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def reload(self) -> "RecommendationStore":
+        """(Re-)read the manifest and swap in a fresh, validated state.
+
+        This is the warm-reload hook of ``repro serve``: after an artifact
+        is recompiled in place, a reload picks up the new shards without
+        restarting the process.  The new state — manifest, spec-hash check
+        against the fallback pipeline, empty caches — is built completely
+        before the atomic swap, so a reload that raises (broken manifest,
+        mismatched spec) leaves the store serving its previous state.
+        """
+        manifest = load_manifest(self.artifact_dir)
+        pipeline = self._pipeline_source
+        if pipeline is not None:
+            pipeline = _resolve_pipeline(pipeline)
+            expected = manifest.get("spec_sha256")
+            if expected and spec_hash(pipeline) != expected:
+                raise ConfigurationError(
+                    f"fallback pipeline spec does not match the artifact in "
+                    f"{self.artifact_dir}: the artifact was compiled from spec "
+                    f"{expected[:12]}…, the pipeline hashes to {spec_hash(pipeline)[:12]}…"
+                )
+        self._state = _StoreState(self.artifact_dir, manifest, pipeline)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def manifest(self) -> dict[str, Any]:
+        """The artifact manifest of the currently served state."""
+        return self._state.manifest
+
+    @property
+    def n(self) -> int:
+        """Top-N size the artifact was compiled for."""
+        return int(self.manifest["n"])
+
+    @property
+    def coverage(self) -> int:
+        """Number of users the artifact stores rows for (``[0, coverage)``)."""
+        return int(self.manifest["n_users"])
+
+    @property
+    def n_users_total(self) -> int:
+        """Total users of the compiled pipeline (may exceed :attr:`coverage`)."""
+        return int(self.manifest.get("n_users_total", self.manifest["n_users"]))
+
+    @property
+    def prefix_consistent(self) -> bool:
+        """Whether top-``k`` for ``k < n`` may be served by slicing stored rows."""
+        return bool(self.manifest.get("prefix_consistent", False))
+
+    @property
+    def has_fallback(self) -> bool:
+        """Whether a live pipeline is attached for uncovered lookups."""
+        return self._state.pipeline is not None
+
+    # ------------------------------------------------------------------ #
+    # Artifact path
+    # ------------------------------------------------------------------ #
+    def _artifact_rows(
+        self, state: _StoreState, users: np.ndarray, n: int, *, want_scores: bool
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        shard_size = int(state.manifest["shard_size"])
+        items_out = np.empty((users.size, n), dtype=np.int64)
+        scores_out = np.empty((users.size, n), dtype=np.float64) if want_scores else None
+        for row, user in enumerate(users):
+            index = int(user) // shard_size
+            items, scores = state.shards[index]
+            offset = int(user) - index * shard_size
+            items_out[row] = items[offset, :n]
+            if scores_out is not None:
+                scores_out[row] = scores[offset, :n]
+        return items_out, scores_out
+
+    # ------------------------------------------------------------------ #
+    # Fallback path
+    # ------------------------------------------------------------------ #
+    def _fallback_table(self, state: _StoreState, n: int) -> np.ndarray:
+        """The live ``recommend_all(n)`` item table, LRU-cached per ``n``."""
+        if state.pipeline is None:
+            raise ServingError(
+                f"lookup needs live scoring (n={n}, artifact n={int(state.manifest['n'])}, "
+                f"coverage={int(state.manifest['n_users'])} users) but no "
+                "fallback pipeline is attached; pass pipeline= / --pipeline"
+            )
+        with self._lock:
+            table = state.fallback_tables.get(n)
+            if table is not None:
+                state.fallback_tables.move_to_end(n)
+                return table
+        # recommend_all is executed outside the lock deliberately: it can take
+        # seconds, and concurrent different-n requests should not serialize.
+        # A duplicated build for the same n is wasted work, not wrong results.
+        table = state.pipeline.recommend_all(n).items
+        with self._lock:
+            self.stats["fallback_builds"] += 1
+            state.fallback_tables[n] = table
+            state.fallback_tables.move_to_end(n)
+            while len(state.fallback_tables) > self._fallback_cache_size:
+                state.fallback_tables.popitem(last=False)
+        return table
+
+    # ------------------------------------------------------------------ #
+    # Lookups
+    # ------------------------------------------------------------------ #
+    def top_n(self, users: int | np.ndarray, n: int | None = None) -> np.ndarray:
+        """Top-``n`` item rows for one user (1-D) or a block of users (2-D).
+
+        Rows come from the memory-mapped artifact whenever it covers the
+        (user, ``n``) pair and from the live fallback pipeline otherwise;
+        both paths return exactly the bytes ``Pipeline.recommend_all(n)``
+        would.  Rows are ``-1``-padded like every top-N block in the
+        library.
+        """
+        items, _, _ = self._lookup(users, n, want_scores=False)
+        return items
+
+    def lookup(
+        self, users: int | np.ndarray, n: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray | None, str]:
+        """Like :meth:`top_n` but also returns scores and the serving source.
+
+        Returns ``(items, scores, source)`` where ``scores`` is the stored
+        diagnostic score block (``None`` when any requested row came from
+        live fallback, which does not produce them) and ``source`` is
+        ``"artifact"``, ``"live"`` or ``"mixed"``.
+        """
+        return self._lookup(users, n, want_scores=True)
+
+    def _lookup(
+        self, users: int | np.ndarray, n: int | None, *, want_scores: bool
+    ) -> tuple[np.ndarray, np.ndarray | None, str]:
+        state = self._state  # one snapshot for the whole lookup
+        manifest = state.manifest
+        artifact_n = int(manifest["n"])
+        coverage = int(manifest["n_users"])
+        n_users_total = int(manifest.get("n_users_total", coverage))
+        prefix_ok = bool(manifest.get("prefix_consistent", False))
+
+        n = artifact_n if n is None else int(n)
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {n}")
+        # Bound n by the item universe: beyond it every extra column is -1
+        # padding, and an absurd request (n=10**9) would otherwise allocate
+        # an (n_users x n) fallback table before failing.
+        n_items = manifest.get("n_items")
+        if n_items is not None and n > int(n_items):
+            raise ConfigurationError(
+                f"n={n} exceeds the compiled item universe ({int(n_items)} items)"
+            )
+        single = np.isscalar(users) or (isinstance(users, np.ndarray) and users.ndim == 0)
+        user_block = np.atleast_1d(np.asarray(users, dtype=np.int64))
+        if user_block.size and (user_block.min() < 0 or user_block.max() >= n_users_total):
+            out_of_range = int(user_block.min()) if user_block.min() < 0 else int(user_block.max())
+            raise ServingError(
+                f"user index out of range: got {out_of_range}, "
+                f"valid range is [0, {n_users_total})"
+            )
+
+        served_by_artifact = n == artifact_n or (n < artifact_n and prefix_ok)
+        covered = (
+            (user_block < coverage)
+            if served_by_artifact
+            else np.zeros(user_block.shape, dtype=bool)
+        )
+        items = np.full((user_block.size, n), -1, dtype=np.int64)
+        scores: np.ndarray | None = None
+
+        if covered.any():
+            got_items, got_scores = self._artifact_rows(
+                state, user_block[covered], n, want_scores=want_scores
+            )
+            items[covered] = got_items
+            if want_scores and got_scores is not None:
+                scores = np.full((user_block.size, n), np.nan, dtype=np.float64)
+                scores[covered] = got_scores
+        if not covered.all():
+            table = self._fallback_table(state, n)
+            items[~covered] = table[user_block[~covered]]
+            scores = None  # live fallback does not produce diagnostic scores
+
+        with self._lock:
+            self.stats["artifact_rows"] += int(covered.sum())
+            self.stats["fallback_rows"] += int((~covered).sum())
+
+        source = "artifact" if covered.all() else ("live" if not covered.any() else "mixed")
+        if single:
+            return items[0], None if scores is None else scores[0], source
+        return items, scores, source
+
+    def __repr__(self) -> str:
+        return (
+            f"RecommendationStore(n={self.n}, coverage={self.coverage}/"
+            f"{self.n_users_total}, fallback={self.has_fallback})"
+        )
+
+
+def open_store(
+    artifact_dir: str | Path,
+    pipeline_dir: str | Path | None = None,
+    **kwargs: Any,
+) -> RecommendationStore:
+    """Convenience constructor mirroring the ``repro serve`` CLI arguments."""
+    return RecommendationStore(artifact_dir, pipeline=pipeline_dir, **kwargs)

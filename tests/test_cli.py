@@ -210,6 +210,24 @@ def test_cli_run_rejects_non_positive_jobs(tmp_path):
         main(["run", "--config", "whatever.json", "--jobs", "0"])
 
 
+@pytest.mark.parametrize("value", ["0", "-0.5", "nan", "inf", "abc"])
+def test_cli_rejects_non_positive_scale(value):
+    """--scale is validated at parse time, naming the flag (not deep in synthesis)."""
+    with pytest.raises(ConfigurationError, match="--scale"):
+        main(["table2", "--scale", value])
+
+
+@pytest.mark.parametrize("option,value", [
+    ("--shard-size", "0"),
+    ("--max-users", "-1"),
+    ("--n", "0"),
+    ("--jobs", "0"),
+])
+def test_cli_compile_rejects_bad_arguments(option, value):
+    with pytest.raises(ConfigurationError, match=option):
+        main(["compile", "--pipeline", "p", "--artifact", "a", option, value])
+
+
 def test_cli_jobs_and_backend_preserve_recommend_output(tmp_path, capsys):
     serial_csv = tmp_path / "serial.csv"
     parallel_csv = tmp_path / "parallel.csv"

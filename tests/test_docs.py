@@ -1,0 +1,107 @@
+"""Documentation-site integrity checks runnable without mkdocs installed.
+
+CI builds the site with ``mkdocs build --strict`` (which fails on broken
+nav entries and intra-doc links); these tests enforce the same invariants
+with the stdlib + PyYAML so a broken docs change fails fast in the tier-1
+suite too:
+
+* every page listed in ``mkdocs.yml``'s nav exists under ``docs/``;
+* every relative markdown link in ``docs/**/*.md`` (and the README's links
+  into ``docs/``) resolves to a real file;
+* every mkdocstrings ``::: module`` directive names an importable module;
+* every docs page is reachable from the nav (no orphans).
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+import yaml
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DOCS_DIR = REPO_ROOT / "docs"
+MKDOCS_FILE = REPO_ROOT / "mkdocs.yml"
+
+_LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)]+)\)")
+_AUTODOC_PATTERN = re.compile(r"^:::\s+([\w.]+)\s*$", re.MULTILINE)
+
+
+def _nav_pages(node) -> list[str]:
+    """Flatten mkdocs nav (nested lists/dicts) into page paths."""
+    pages: list[str] = []
+    if isinstance(node, str):
+        pages.append(node)
+    elif isinstance(node, list):
+        for child in node:
+            pages.extend(_nav_pages(child))
+    elif isinstance(node, dict):
+        for child in node.values():
+            pages.extend(_nav_pages(child))
+    return pages
+
+
+@pytest.fixture(scope="module")
+def mkdocs_config() -> dict:
+    """The parsed mkdocs.yml."""
+    return yaml.safe_load(MKDOCS_FILE.read_text(encoding="utf-8"))
+
+
+def _doc_pages() -> list[Path]:
+    return sorted(DOCS_DIR.rglob("*.md"))
+
+
+def test_docs_tree_exists():
+    assert MKDOCS_FILE.exists()
+    assert (DOCS_DIR / "index.md").exists()
+    assert len(_doc_pages()) >= 6
+
+
+def test_strict_mode_is_enabled(mkdocs_config):
+    """CI relies on --strict; the config should agree so local builds match."""
+    assert mkdocs_config.get("strict") is True
+
+
+def test_every_nav_entry_resolves_to_a_page(mkdocs_config):
+    for page in _nav_pages(mkdocs_config["nav"]):
+        assert (DOCS_DIR / page).is_file(), f"mkdocs.yml nav lists missing page {page}"
+
+
+def test_every_docs_page_is_in_the_nav(mkdocs_config):
+    nav = set(_nav_pages(mkdocs_config["nav"]))
+    for path in _doc_pages():
+        relative = path.relative_to(DOCS_DIR).as_posix()
+        assert relative in nav, f"docs/{relative} exists but is not linked from the nav"
+
+
+def _relative_links(markdown: str):
+    for match in _LINK_PATTERN.finditer(markdown):
+        target = match.group(1).strip()
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        yield target.split("#", 1)[0]
+
+
+@pytest.mark.parametrize("page", _doc_pages(), ids=lambda p: p.relative_to(DOCS_DIR).as_posix())
+def test_intra_doc_links_resolve(page: Path):
+    for target in _relative_links(page.read_text(encoding="utf-8")):
+        resolved = (page.parent / target).resolve()
+        assert resolved.exists(), f"{page.relative_to(REPO_ROOT)} links to missing {target}"
+
+
+def test_readme_links_into_docs_resolve():
+    readme = REPO_ROOT / "README.md"
+    for target in _relative_links(readme.read_text(encoding="utf-8")):
+        resolved = (REPO_ROOT / target).resolve()
+        assert resolved.exists(), f"README.md links to missing {target}"
+
+
+def test_mkdocstrings_targets_import():
+    directives = []
+    for page in _doc_pages():
+        directives.extend(_AUTODOC_PATTERN.findall(page.read_text(encoding="utf-8")))
+    assert directives, "expected at least one mkdocstrings ::: directive under docs/api/"
+    for dotted in directives:
+        assert importlib.import_module(dotted) is not None, f"::: {dotted} does not import"

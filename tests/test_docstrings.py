@@ -1,0 +1,76 @@
+"""Docstring-presence audit mirroring the ruff `D` ruleset in pyproject.toml.
+
+The documentation site renders library docstrings with mkdocstrings, so a
+missing docstring is a broken docs page.  CI enforces this via ruff
+(D100–D104, D106, D419); this test enforces the identical contract with the
+stdlib ``ast`` module so the tier-1 suite catches violations in environments
+without ruff installed — and so the two can never silently diverge on what
+"documented" means: every public module, package, class, method and function
+under ``src/`` must carry a non-empty docstring.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+SRC_ROOT = Path(__file__).resolve().parents[1] / "src"
+
+#: The packages the serving PR audited explicitly; listed first so a failure
+#: names them, but the contract covers all of src/.
+AUDITED_PACKAGES = ("repro/serving", "repro/parallel", "repro/pipeline")
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _missing_docstrings(path: Path) -> list[str]:
+    """All public defs/classes (and the module itself) lacking a docstring."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    missing: list[str] = []
+    docstring = ast.get_docstring(tree)
+    if not (docstring and docstring.strip()):
+        missing.append("<module>")
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not _is_public(node.name):
+            continue
+        # Overload stubs and trivial protocol bodies (`...`) document the
+        # contract at the definition site mkdocstrings renders.
+        body = [s for s in node.body if not isinstance(s, ast.Expr) or not isinstance(s.value, ast.Constant)]
+        if not body and not isinstance(node, ast.ClassDef):
+            continue
+        docstring = ast.get_docstring(node)
+        if not (docstring and docstring.strip()):
+            missing.append(f"{type(node).__name__.replace('Def', '').lower()} {node.name}:{node.lineno}")
+    return missing
+
+
+def _source_files() -> list[Path]:
+    return sorted(p for p in SRC_ROOT.rglob("*.py") if "__pycache__" not in p.parts)
+
+
+def test_source_tree_found():
+    assert len(_source_files()) > 50
+
+
+@pytest.mark.parametrize(
+    "path", _source_files(), ids=lambda p: p.relative_to(SRC_ROOT).as_posix()
+)
+def test_public_api_is_documented(path: Path):
+    missing = _missing_docstrings(path)
+    assert not missing, (
+        f"{path.relative_to(SRC_ROOT)} has undocumented public API "
+        f"(breaks the mkdocstrings-rendered docs site): {missing}"
+    )
+
+
+@pytest.mark.parametrize("package", AUDITED_PACKAGES)
+def test_audited_packages_exist(package: str):
+    """The packages the docs site renders in full are present and non-empty."""
+    directory = SRC_ROOT / package
+    assert any(directory.glob("*.py")), f"{package} has no modules to document"

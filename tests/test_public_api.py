@@ -49,6 +49,10 @@ def test_core_facade_reexports_the_same_objects():
         "repro.evaluation",
         "repro.experiments",
         "repro.experiments.report_writer",
+        "repro.parallel",
+        "repro.pipeline",
+        "repro.serving",
+        "repro.serving.service",
         "repro.utils",
         "repro.utils.plotting",
         "repro.cli",
