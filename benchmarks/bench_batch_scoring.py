@@ -33,6 +33,8 @@ from repro.ganc.oslg import OSLGOptimizer
 from repro.recommenders.base import Recommender
 from repro.recommenders.registry import make_recommender
 
+from bench_json import write_bench_json
+
 N = 5
 
 #: Recommenders benchmarked for recommend_all throughput.  RSVD is configured
@@ -64,9 +66,9 @@ def _time(fn, *, repeats: int = 1) -> tuple[float, object]:
     return best, result
 
 
-def bench_recommenders(train, repeats: int, lines: list[str]) -> list[float]:
+def bench_recommenders(train, repeats: int, lines: list[str]) -> dict[str, float]:
     n_users = train.n_users
-    speedups: list[float] = []
+    speedups: dict[str, float] = {}
     header = (
         f"{'model':<10} {'loop_s':>9} {'batch_s':>9} {'speedup':>8} "
         f"{'loop_u/s':>10} {'batch_u/s':>11}  equal"
@@ -80,7 +82,7 @@ def bench_recommenders(train, repeats: int, lines: list[str]) -> list[float]:
         batch_s, batch_top = _time(lambda: model.recommend_all(N), repeats=repeats)
         equal = bool(np.array_equal(loop_items, batch_top.items))
         speedup = loop_s / batch_s if batch_s > 0 else float("inf")
-        speedups.append(speedup)
+        speedups[name] = speedup
         lines.append(
             f"{name:<10} {loop_s:>9.4f} {batch_s:>9.4f} {speedup:>7.1f}x "
             f"{n_users / loop_s:>10.0f} {n_users / batch_s:>11.0f}  {equal}"
@@ -88,7 +90,7 @@ def bench_recommenders(train, repeats: int, lines: list[str]) -> list[float]:
     return speedups
 
 
-def bench_ganc(train, repeats: int, lines: list[str]) -> None:
+def bench_ganc(train, repeats: int, lines: list[str]) -> dict[str, float]:
     theta = np.random.default_rng(0).random(train.n_users)
     model = make_recommender("pop").fit(train)
     model.recommend_all(N)
@@ -109,11 +111,11 @@ def bench_ganc(train, repeats: int, lines: list[str]) -> None:
 
     # Independent branch: static coverage, whole assignment is batched.
     optimizer = LocallyGreedyOptimizer(StaticCoverage().fit(train), N)
-    loop_s, seq = _time(
+    greedy_loop_s, seq = _time(
         lambda: optimizer.run(theta, accuracy, exclusions, n_users=train.n_users),
         repeats=repeats,
     )
-    batch_s, blocked = _time(
+    greedy_batch_s, blocked = _time(
         lambda: optimizer.run_independent(
             theta, accuracy_matrix, train.user_items_batch, n_users=train.n_users
         ),
@@ -121,8 +123,8 @@ def bench_ganc(train, repeats: int, lines: list[str]) -> None:
     )
     equal = bool(np.array_equal(seq.items, blocked.items))
     lines.append(
-        f"{'locally_greedy (Stat)':<28} {loop_s:>9.4f} {batch_s:>9.4f} "
-        f"{loop_s / batch_s:>7.1f}x  {equal}"
+        f"{'locally_greedy (Stat)':<28} {greedy_loop_s:>9.4f} {greedy_batch_s:>9.4f} "
+        f"{greedy_loop_s / greedy_batch_s:>7.1f}x  {equal}"
     )
 
     # OSLG snapshot phase: stacked per-user providers vs batched providers.
@@ -150,9 +152,13 @@ def bench_ganc(train, repeats: int, lines: list[str]) -> None:
         f"{'oslg (S=' + str(sample_size) + ', Dyn)':<28} {loop_s:>9.4f} {batch_s:>9.4f} "
         f"{loop_s / batch_s:>7.1f}x  {equal}"
     )
+    return {
+        "locally_greedy_stat": greedy_loop_s / greedy_batch_s,
+        "oslg_stacked_vs_batched": loop_s / batch_s,
+    }
 
 
-def main() -> int:
+def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--profile", default="ml1m", help="synthetic dataset profile")
     parser.add_argument("--scale", type=float, default=1.0, help="dataset scale factor")
@@ -163,7 +169,7 @@ def main() -> int:
         default=0.0,
         help="exit non-zero when the mean recommend_all speedup falls below this",
     )
-    args = parser.parse_args()
+    args = parser.parse_args(argv)
 
     dataset = make_dataset(args.profile, scale=args.scale)
     train = RatioSplitter(0.8, seed=0).split(dataset).train
@@ -175,9 +181,9 @@ def main() -> int:
         "",
     ]
     speedups = bench_recommenders(train, args.repeats, lines)
-    bench_ganc(train, args.repeats, lines)
+    ganc_speedups = bench_ganc(train, args.repeats, lines)
 
-    mean_speedup = float(np.mean(speedups))
+    mean_speedup = float(np.mean(list(speedups.values())))
     lines.append("")
     lines.append(f"mean recommend_all speedup: {mean_speedup:.1f}x")
 
@@ -186,6 +192,23 @@ def main() -> int:
     out_dir = Path(__file__).parent / "output"
     out_dir.mkdir(parents=True, exist_ok=True)
     (out_dir / "bench_batch_scoring.txt").write_text(text + "\n", encoding="utf-8")
+    write_bench_json(
+        "batch_scoring",
+        config={
+            "profile": args.profile,
+            "scale": args.scale,
+            "repeats": args.repeats,
+            "n": N,
+            "n_users": int(train.n_users),
+            "n_items": int(train.n_items),
+        },
+        metrics={"mean_recommend_all_speedup": mean_speedup},
+        speedups={
+            **{f"recommend_all_{name}": value for name, value in speedups.items()},
+            **ganc_speedups,
+        },
+        equal=True,
+    )
 
     if args.min_speedup and mean_speedup < args.min_speedup:
         print(f"FAIL: mean speedup {mean_speedup:.1f}x < required {args.min_speedup}x")

@@ -37,6 +37,8 @@ from repro.parallel import get_executor
 from repro.pipeline import Pipeline, ganc_spec
 from repro.recommenders.registry import make_recommender
 
+from bench_json import write_bench_json
+
 N = 5
 
 
@@ -106,7 +108,7 @@ def bench_ganc_end_to_end(split, scale, variants, repeats, block_size, lines):
     return best
 
 
-def main() -> int:
+def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=1.0, help="synthetic ML-1M scale factor")
     parser.add_argument("--jobs", type=int, nargs="+", default=[2, 4], help="worker counts to sweep")
@@ -119,7 +121,7 @@ def main() -> int:
         "--min-speedup", type=float, default=0.0,
         help="fail when the best end-to-end speedup is below this floor",
     )
-    args = parser.parse_args()
+    args = parser.parse_args(argv)
 
     dataset = make_dataset("ml1m", scale=args.scale, seed=0)
     split = RatioSplitter(0.5, seed=0).split(dataset)
@@ -149,6 +151,25 @@ def main() -> int:
     output.parent.mkdir(parents=True, exist_ok=True)
     output.write_text(text + "\n", encoding="utf-8")
     print(f"\nwritten to {output}")
+    write_bench_json(
+        "parallel_scaling",
+        config={
+            "scale": args.scale,
+            "repeats": args.repeats,
+            "block_size": args.block_size,
+            "jobs": " ".join(str(j) for j in args.jobs),
+            "backends": " ".join(args.backends),
+            "cpus_visible": os.cpu_count() or 0,
+            "n_users": int(train.n_users),
+            "n_items": int(train.n_items),
+        },
+        metrics={"best_speedup": best},
+        speedups={
+            "recommend_all_best": best_recommend,
+            "ganc_end_to_end_best": best_ganc,
+        },
+        equal=True,
+    )
 
     if best < args.min_speedup:
         print(f"FAILED: best speedup {best:.2f}x below the {args.min_speedup}x floor")

@@ -40,6 +40,8 @@ from repro.pipeline import (
 )
 from repro.serving import RecommendationStore, compile_artifact
 
+from bench_json import write_bench_json
+
 N = 5
 
 
@@ -53,8 +55,9 @@ def _time(fn, repeats: int = 1):
     return best, result
 
 
-def run_benchmark(scale: float, repeats: int, jobs: int, lookups: int) -> list[str]:
-    """Execute the compile/lookup benchmark and return the report lines."""
+def run_benchmark(scale: float, repeats: int, jobs: int, lookups: int):
+    """Execute the compile/lookup benchmark; returns (report lines, metrics)."""
+    metrics: dict[str, float] = {}
     lines = [
         "serving benchmark (compile throughput + lookup latency)",
         f"scale={scale} repeats={repeats} jobs={jobs} lookups={lookups} n={N}",
@@ -127,7 +130,16 @@ def run_benchmark(scale: float, repeats: int, jobs: int, lookups: int) -> list[s
         )
         lines.append("")
         lines.append("all measured paths verified byte-identical to Pipeline.recommend_all")
-    return lines
+        metrics.update(
+            compile_s=compile_s,
+            compile_users_per_s=n_users / compile_s,
+            single_lookup_us=single_s / lookups * 1e6,
+            batch_lookup_us_per_row=batch_s / batch.size * 1e6,
+            fallback_cold_s=cold_s,
+            fallback_cached_lookup_us=warm_s / lookups * 1e6,
+            lookup_vs_cold_speedup=speedup,
+        )
+    return lines, metrics
 
 
 def main(argv=None) -> int:
@@ -139,13 +151,25 @@ def main(argv=None) -> int:
     parser.add_argument("--lookups", type=int, default=1000)
     args = parser.parse_args(argv)
 
-    lines = run_benchmark(args.scale, args.repeats, args.jobs, args.lookups)
+    lines, metrics = run_benchmark(args.scale, args.repeats, args.jobs, args.lookups)
     report = "\n".join(lines)
     print(report)
     output = Path(__file__).resolve().parent / "output" / "bench_serving.txt"
     output.parent.mkdir(parents=True, exist_ok=True)
     output.write_text(report + "\n", encoding="utf-8")
     print(f"\nwritten to {output}")
+    write_bench_json(
+        "serving",
+        config={
+            "scale": args.scale,
+            "repeats": args.repeats,
+            "jobs": args.jobs,
+            "lookups": args.lookups,
+            "n": N,
+        },
+        metrics=metrics,
+        equal=True,
+    )
     return 0
 
 

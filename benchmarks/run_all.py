@@ -1,0 +1,119 @@
+"""Unified benchmark driver: run every committed bench, emit BENCH_*.json.
+
+Runs each standalone benchmark driver in-process and validates the
+machine-readable ``benchmarks/output/BENCH_<name>.json`` documents they emit
+against the shared schema (see :mod:`bench_json`), so the performance
+trajectory is tracked PR-over-PR in reviewable, diffable JSON instead of
+only prose tables.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/run_all.py              # full-scale pass
+    PYTHONPATH=src python benchmarks/run_all.py --smoke      # CI: tiny scale, schema-validated
+    PYTHONPATH=src python benchmarks/run_all.py --only ganc  # a single bench
+
+``--smoke`` runs every bench at a tiny scale with all speedup gates
+disabled — the point is exercising every driver end to end and validating
+the JSON schema, not producing meaningful numbers — and is wired as the CI
+bench-smoke step.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import bench_batch_scoring
+import bench_ganc
+import bench_parallel_scaling
+import bench_serving
+from bench_json import OUTPUT_DIR, load_and_validate
+
+#: name -> (module, full-scale argv, smoke argv)
+BENCHES: dict[str, tuple] = {
+    "ganc": (
+        bench_ganc,
+        [],
+        ["--scale", "0.1", "--repeats", "1", "--sample-size", "30",
+         "--min-seq-speedup", "0", "--min-e2e-speedup", "0"],
+    ),
+    "batch_scoring": (
+        bench_batch_scoring,
+        [],
+        ["--scale", "0.1", "--repeats", "1", "--min-speedup", "0"],
+    ),
+    "parallel_scaling": (
+        bench_parallel_scaling,
+        [],
+        ["--scale", "0.1", "--jobs", "2", "--repeats", "1", "--min-speedup", "0"],
+    ),
+    "serving": (
+        bench_serving,
+        [],
+        ["--scale", "0.1", "--repeats", "1", "--lookups", "100"],
+    ),
+}
+
+
+def main(argv=None) -> int:
+    """Run the requested benches, then validate every emitted JSON document."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--only", nargs="+", choices=sorted(BENCHES), default=None,
+        help="run only these benches (default: all)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny-scale pass with speedup gates disabled (CI schema check)",
+    )
+    parser.add_argument(
+        "--validate-only", action="store_true",
+        help="skip running; only validate the committed BENCH_*.json files",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.only or sorted(BENCHES)
+    failures: list[str] = []
+
+    if not args.validate_only:
+        for name in names:
+            module, full_args, smoke_args = BENCHES[name]
+            bench_argv = smoke_args if args.smoke else full_args
+            print(f"=== {name} {' '.join(bench_argv)}")
+            try:
+                code = module.main(list(bench_argv))
+            except SystemExit as exc:  # drivers that exit explicitly
+                code = int(exc.code or 0)
+            if code != 0:
+                failures.append(f"{name}: exited {code}")
+            print()
+
+    for name in names:
+        path = OUTPUT_DIR / f"BENCH_{name}.json"
+        if not path.exists():
+            failures.append(f"{name}: {path.name} was not emitted")
+            continue
+        try:
+            payload = load_and_validate(path)
+        except (ValueError, OSError) as exc:
+            failures.append(f"{name}: {exc}")
+            continue
+        if payload.get("bench") != name:
+            failures.append(
+                f"{name}: document names bench {payload.get('bench')!r}"
+            )
+        else:
+            print(f"validated {path.relative_to(Path.cwd()) if path.is_relative_to(Path.cwd()) else path}")
+
+    if failures:
+        print("\nFAIL:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nall benchmark JSON documents valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

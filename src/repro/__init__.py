@@ -53,7 +53,14 @@ from repro.recommenders import (
     ItemKNN,
     make_recommender,
 )
-from repro.coverage import RandomCoverage, StaticCoverage, DynamicCoverage, make_coverage
+from repro.coverage import (
+    RandomCoverage,
+    StaticCoverage,
+    DynamicCoverage,
+    CoverageState,
+    DeltaSnapshots,
+    make_coverage,
+)
 from repro.ganc import GANC, GANCConfig, OSLGOptimizer, LocallyGreedyOptimizer, GaussianKDE
 from repro.rerankers import (
     RankingBasedTechnique,
@@ -125,6 +132,8 @@ __all__ = [
     "RandomCoverage",
     "StaticCoverage",
     "DynamicCoverage",
+    "CoverageState",
+    "DeltaSnapshots",
     "make_coverage",
     # GANC
     "GANC",

@@ -24,6 +24,7 @@ and can persist/serve fitted pipelines.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import math
 import sys
 from pathlib import Path
@@ -54,7 +55,11 @@ from repro.pipeline import (
     Pipeline,
     PipelineSpec,
 )
+from repro.ganc.kde import validate_bandwidth
 from repro.utils.tables import format_table
+
+#: Valid sequential orderings for ``--theta-order``.
+THETA_ORDERS = ("increasing", "decreasing", "arbitrary")
 
 
 def _positive_int(option: str) -> Callable[[str], int]:
@@ -96,6 +101,45 @@ def _positive_float(option: str) -> Callable[[str], float]:
         if not math.isfinite(value) or value <= 0:
             raise ConfigurationError(f"{option} must be a positive finite number, got {value}")
         return value
+
+    return parse
+
+
+def _bandwidth(option: str) -> Callable[[str], "float | str"]:
+    """Argparse ``type`` validating KDE bandwidth options at parse time.
+
+    Accepts a positive number or a plug-in rule name; anything else raises
+    :class:`ConfigurationError` naming the flag (same contract as
+    ``--jobs``/``--scale``) instead of failing deep inside the KDE fit.
+    """
+
+    def parse(text: str) -> float | str:
+        """Parse one occurrence of the option, failing with the flag named."""
+        value: float | str
+        try:
+            value = float(text)
+        except ValueError:
+            value = text
+        return validate_bandwidth(value, parameter=option)
+
+    return parse
+
+
+def _one_of(option: str, choices: tuple[str, ...]) -> Callable[[str], str]:
+    """Argparse ``type`` validating an enumerated option at parse time.
+
+    Like ``choices=`` but raises :class:`ConfigurationError` naming the flag
+    instead of argparse's generic usage error, matching the other validated
+    options.
+    """
+
+    def parse(text: str) -> str:
+        """Parse one occurrence of the option, failing with the flag named."""
+        if text not in choices:
+            raise ConfigurationError(
+                f"{option} must be one of {'/'.join(choices)}, got {text!r}"
+            )
+        return text
 
     return parse
 
@@ -169,7 +213,8 @@ def _cmd_figure2(args: argparse.Namespace) -> int:
 
 def _cmd_figure3(args: argparse.Namespace) -> int:
     _, table = run_figure3(
-        sample_sizes=tuple(args.sample_sizes), scale=args.scale, seed=args.seed,
+        sample_sizes=tuple(args.sample_sizes), bandwidth=args.bandwidth,
+        scale=args.scale, seed=args.seed,
         block_size=args.block_size, n_jobs=args.jobs, backend=args.backend,
     )
     _emit(table, args.output)
@@ -178,7 +223,8 @@ def _cmd_figure3(args: argparse.Namespace) -> int:
 
 def _cmd_figure4(args: argparse.Namespace) -> int:
     _, table = run_figure4(
-        sample_sizes=tuple(args.sample_sizes), scale=args.scale, seed=args.seed,
+        sample_sizes=tuple(args.sample_sizes), bandwidth=args.bandwidth,
+        scale=args.scale, seed=args.seed,
         block_size=args.block_size, n_jobs=args.jobs, backend=args.backend,
     )
     _emit(table, args.output)
@@ -276,7 +322,12 @@ def _spec_from_recommend_args(args: argparse.Namespace) -> PipelineSpec:
         recommender=ComponentSpec(args.arec),
         preference=ComponentSpec(args.theta),
         coverage=ComponentSpec(args.coverage),
-        ganc=GANCSpec(sample_size=args.sample_size, block_size=args.block_size),
+        ganc=GANCSpec(
+            sample_size=args.sample_size,
+            bandwidth=args.bandwidth,
+            theta_order=args.theta_order,
+            block_size=args.block_size,
+        ),
         evaluation=EvaluationSpec(n=args.n, block_size=args.block_size),
         execution=ExecutionSpec(backend=args.backend, n_jobs=args.jobs),
         seed=args.seed,
@@ -347,6 +398,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
             ExecutionSpec(
                 backend=args.backend or execution.backend,
                 n_jobs=args.jobs if args.jobs is not None else execution.n_jobs,
+            )
+        )
+    # --sample-size/--bandwidth/--theta-order override the ganc section:
+    # these are optimizer knobs, applied without refitting any component.
+    if (
+        args.sample_size is not None
+        or args.bandwidth is not None
+        or args.theta_order is not None
+    ):
+        ganc = pipeline.spec.ganc
+        pipeline.set_ganc(
+            dataclasses.replace(
+                ganc,
+                sample_size=args.sample_size if args.sample_size is not None else ganc.sample_size,
+                bandwidth=args.bandwidth if args.bandwidth is not None else ganc.bandwidth,
+                theta_order=args.theta_order if args.theta_order is not None else ganc.theta_order,
             )
         )
     if not args.load_pipeline:
@@ -422,13 +489,17 @@ def build_parser() -> argparse.ArgumentParser:
         sub = subparsers.add_parser(name, help=f"OSLG sample-size sweep ({dataset_key})")
         _add_common_arguments(sub, with_datasets=False)
         sub.add_argument("--sample-sizes", nargs="+", type=int, default=[100, 300, 500])
+        sub.add_argument(
+            "--bandwidth", type=_bandwidth("--bandwidth"), default="silverman",
+            help="KDE bandwidth for OSLG sampling: a positive number or scott/silverman",
+        )
         sub.set_defaults(handler=handler)
 
     figure5 = subparsers.add_parser("figure5", help="Figure 5: preference models x ARec x N")
     _add_common_arguments(figure5, with_datasets=False)
     figure5.add_argument("--dataset", choices=sorted(EXPERIMENT_DATASETS), default="ml1m")
     figure5.add_argument("--n-values", nargs="+", type=int, default=[5, 10, 15, 20])
-    figure5.add_argument("--sample-size", type=int, default=500)
+    figure5.add_argument("--sample-size", type=_positive_int("--sample-size"), default=500)
     figure5.set_defaults(handler=_cmd_figure5)
 
     for name, help_text, handler in (
@@ -437,7 +508,7 @@ def build_parser() -> argparse.ArgumentParser:
     ):
         sub = subparsers.add_parser(name, help=help_text)
         _add_common_arguments(sub)
-        sub.add_argument("--sample-size", type=int, default=500)
+        sub.add_argument("--sample-size", type=_positive_int("--sample-size"), default=500)
         sub.set_defaults(handler=handler)
 
     for name, help_text, handler in (
@@ -451,7 +522,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = subparsers.add_parser("report", help="generate the combined markdown report")
     _add_common_arguments(report)
-    report.add_argument("--sample-size", type=int, default=200)
+    report.add_argument("--sample-size", type=_positive_int("--sample-size"), default=200)
     report.add_argument("--skip-table4", action="store_true", help="omit the Table IV comparison")
     report.add_argument("--skip-figure6", action="store_true", help="omit the Figure 6 trade-off section")
     report.set_defaults(handler=_cmd_report)
@@ -463,7 +534,18 @@ def build_parser() -> argparse.ArgumentParser:
     recommend.add_argument("--theta", default="thetaG", help="preference model (thetaA/N/T/G/R/C)")
     recommend.add_argument("--coverage", default="dyn", help="coverage recommender (rand, stat, dyn)")
     recommend.add_argument("--n", type=int, default=5, help="top-N size")
-    recommend.add_argument("--sample-size", type=int, default=500, help="OSLG sample size")
+    recommend.add_argument(
+        "--sample-size", type=_positive_int("--sample-size"), default=500,
+        help="OSLG sample size S (sequential users; clipped to the user count)",
+    )
+    recommend.add_argument(
+        "--bandwidth", type=_bandwidth("--bandwidth"), default="silverman",
+        help="KDE bandwidth for OSLG sampling: a positive number or scott/silverman",
+    )
+    recommend.add_argument(
+        "--theta-order", type=_one_of("--theta-order", THETA_ORDERS), default="increasing",
+        help="sequential user ordering: increasing (paper), decreasing or arbitrary",
+    )
     recommend.add_argument(
         "--save-recommendations", type=str, default=None, help="write the top-N sets to this CSV file"
     )
@@ -494,6 +576,18 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--backend", choices=list(EXECUTOR_BACKENDS), default=None,
         help="override the spec's execution.backend",
+    )
+    run.add_argument(
+        "--sample-size", type=_positive_int("--sample-size"), default=None,
+        help="override the spec's ganc.sample_size (OSLG sequential sample)",
+    )
+    run.add_argument(
+        "--bandwidth", type=_bandwidth("--bandwidth"), default=None,
+        help="override the spec's ganc.bandwidth (number or scott/silverman)",
+    )
+    run.add_argument(
+        "--theta-order", type=_one_of("--theta-order", THETA_ORDERS), default=None,
+        help="override the spec's ganc.theta_order",
     )
     run.add_argument(
         "--save-recommendations", type=str, default=None, help="write the top-N sets to this CSV file"

@@ -11,7 +11,13 @@ Substrates (datasets, base recommenders, metrics, baselines) live in their own
 subpackages and are intentionally not re-exported here.
 """
 
-from repro.coverage import DynamicCoverage, RandomCoverage, StaticCoverage
+from repro.coverage import (
+    CoverageState,
+    DeltaSnapshots,
+    DynamicCoverage,
+    RandomCoverage,
+    StaticCoverage,
+)
 from repro.ganc import (
     GANC,
     GANCConfig,
@@ -44,6 +50,8 @@ __all__ = [
     "DynamicCoverage",
     "RandomCoverage",
     "StaticCoverage",
+    "CoverageState",
+    "DeltaSnapshots",
     "ActivityPreference",
     "ConstantPreference",
     "GeneralizedPreference",

@@ -9,12 +9,19 @@ item, rewarding recommendations that spread across the item space:
 * :class:`~repro.coverage.dynamic.DynamicCoverage` — the same decreasing
   function applied to the item's frequency in the *recommendations assigned so
   far*, giving a diminishing-returns (submodular) coverage gain.
+
+The dynamic recommender's assignment bookkeeping lives in
+:mod:`repro.coverage.state`: :class:`~repro.coverage.state.CoverageState`
+keeps counts and scores in lockstep with O(N) delta updates, and
+:class:`~repro.coverage.state.DeltaSnapshots` records OSLG's per-step
+snapshots compactly.
 """
 
 from repro.coverage.base import CoverageRecommender
 from repro.coverage.random import RandomCoverage
 from repro.coverage.static import StaticCoverage
 from repro.coverage.dynamic import DynamicCoverage
+from repro.coverage.state import CoverageState, DeltaSnapshots
 from repro.coverage.registry import make_coverage, COVERAGE_REGISTRY
 
 __all__ = [
@@ -22,6 +29,8 @@ __all__ = [
     "RandomCoverage",
     "StaticCoverage",
     "DynamicCoverage",
+    "CoverageState",
+    "DeltaSnapshots",
     "make_coverage",
     "COVERAGE_REGISTRY",
 ]

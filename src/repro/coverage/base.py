@@ -36,19 +36,35 @@ class CoverageRecommender(ParamsMixin, ABC):
     def scores_matrix(self, users: np.ndarray) -> np.ndarray:
         """Coverage score rows for a block of users, ``(len(users), n_items)``.
 
-        Stateless recommenders with user-independent scores override this
-        with a broadcast view; the returned array may therefore be read-only
-        and must not be mutated in place.  This fallback stacks per-user
-        :meth:`scores` rows.
+        When :attr:`user_independent` is set the block is a read-only
+        broadcast view of one shared :meth:`scores` row — it must not be
+        mutated in place; per-user recommenders get stacked rows instead.
+        Subclasses may override with an even cheaper implementation (the
+        stock recommenders broadcast their internal row without the copy
+        ``scores`` makes).
         """
         users = np.asarray(users, dtype=np.int64)
         if users.size == 0:
             return np.empty((0, self.n_items), dtype=np.float64)
+        if self.user_independent:
+            row = np.asarray(self.scores(int(users[0])), dtype=np.float64)
+            return np.broadcast_to(row, (users.size, self.n_items))
         return np.stack([np.asarray(self.scores(int(u)), dtype=np.float64) for u in users])
 
     @property
     def is_dynamic(self) -> bool:
         """Whether scores depend on the recommendations assigned so far."""
+        return False
+
+    @property
+    def user_independent(self) -> bool:
+        """Whether :meth:`scores` ignores the user it is asked about.
+
+        User-independent recommenders (Stat, Dyn) serve one shared score row
+        to every user, so batch paths may broadcast a single row instead of
+        stacking copies, and the incremental sequential optimizers may blend
+        against one live vector.  Per-user recommenders (Rand) return False.
+        """
         return False
 
     def update(self, items: np.ndarray) -> None:

@@ -7,6 +7,12 @@ worth less.  This diminishing-returns property makes the aggregate GANC
 objective submodular across users (Theorem A.1 of the paper) and is what lets
 the framework spread long-tail items across the user base instead of pushing
 the same few unpopular items to everyone.
+
+The counts *and* the derived score vector live in an incrementally maintained
+:class:`~repro.coverage.state.CoverageState`: recording an assignment touches
+only the N assigned items (an O(N) delta), so the sequential GANC optimizers
+never pay an O(|I|) score recompute per user.  The maintained vector is
+bit-identical to a from-scratch ``1 / sqrt(f + 1)`` at every step.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.coverage.base import CoverageRecommender
+from repro.coverage.state import CoverageState
 from repro.data.dataset import RatingDataset
 from repro.exceptions import ConfigurationError
 
@@ -25,16 +32,21 @@ class DynamicCoverage(CoverageRecommender):
 
     def __init__(self) -> None:
         super().__init__()
-        self._frequencies: np.ndarray | None = None
+        self._state: CoverageState | None = None
 
     @property
     def is_dynamic(self) -> bool:
         """Dynamic coverage depends on the assignments made so far."""
         return True
 
+    @property
+    def user_independent(self) -> bool:
+        """Scores depend on the assignment state, never on the user asked."""
+        return True
+
     def fit(self, train: RatingDataset) -> "DynamicCoverage":
         """Initialize the assignment frequency vector ``f`` to zero."""
-        self._frequencies = np.zeros(train.n_items, dtype=np.float64)
+        self._state = CoverageState.zeros(train.n_items)
         self._mark_fitted(train)
         return self
 
@@ -42,10 +54,16 @@ class DynamicCoverage(CoverageRecommender):
     # Assignment state
     # ------------------------------------------------------------------ #
     @property
+    def state(self) -> CoverageState:
+        """The live incremental ``(counts, scores)`` state."""
+        assert self._state is not None, "fit must be called first"
+        return self._state
+
+    @property
     def frequencies(self) -> np.ndarray:
         """Current assignment counts ``f^A`` (read-only copy)."""
-        assert self._frequencies is not None, "fit must be called first"
-        return self._frequencies.copy()
+        assert self._state is not None, "fit must be called first"
+        return self._state.counts.copy()
 
     def set_frequencies(self, frequencies: np.ndarray) -> None:
         """Overwrite the assignment counts (used by OSLG snapshots)."""
@@ -54,28 +72,35 @@ class DynamicCoverage(CoverageRecommender):
             raise ConfigurationError(
                 f"frequency vector must have shape ({self.n_items},), got {arr.shape}"
             )
-        if arr.size and arr.min() < 0:
-            raise ConfigurationError("assignment frequencies cannot be negative")
-        self._frequencies = arr.copy()
+        self._state = CoverageState(arr)
 
     def update(self, items: np.ndarray) -> None:
-        """Record that ``items`` were just assigned to some user."""
-        assert self._frequencies is not None, "fit must be called first"
-        items = np.asarray(items, dtype=np.int64)
-        if items.size:
-            np.add.at(self._frequencies, items, 1.0)
+        """Record that ``items`` were just assigned to some user (O(N))."""
+        assert self._state is not None, "fit must be called first"
+        self._state.apply(items)
 
     def reset(self) -> None:
         """Clear all assignment counts."""
-        assert self._frequencies is not None, "fit must be called first"
-        self._frequencies.fill(0.0)
+        assert self._state is not None, "fit must be called first"
+        self._state.reset()
 
     # ------------------------------------------------------------------ #
     def scores(self, user: int) -> np.ndarray:
-        """``1 / sqrt(f^A_i + 1)`` for every item (same for all users)."""
+        """``1 / sqrt(f^A_i + 1)`` for every item (same for all users).
+
+        Returns a fresh writable copy of the maintained score vector; the
+        sequential optimizers read the zero-copy live view via :attr:`state`
+        instead.
+        """
         del user
-        assert self._frequencies is not None, "fit must be called first"
-        return 1.0 / np.sqrt(self._frequencies + 1.0)
+        assert self._state is not None, "fit must be called first"
+        return self._state.scores.copy()
+
+    def scores_matrix(self, users: np.ndarray) -> np.ndarray:
+        """Broadcast view of the current scores (read-only, user-independent)."""
+        users = np.asarray(users, dtype=np.int64)
+        assert self._state is not None, "fit must be called first"
+        return np.broadcast_to(self._state.scores, (users.size, self.n_items))
 
     @staticmethod
     def snapshot_scores(frequencies: np.ndarray) -> np.ndarray:

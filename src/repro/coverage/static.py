@@ -30,6 +30,11 @@ class StaticCoverage(CoverageRecommender):
         self._mark_fitted(train)
         return self
 
+    @property
+    def user_independent(self) -> bool:
+        """One static score row serves every user."""
+        return True
+
     def scores(self, user: int) -> np.ndarray:
         """Identical static scores for every user."""
         del user

@@ -39,6 +39,7 @@ def run_sample_size_sweep(
     sample_sizes: Sequence[int] = (100, 300, 500, 700, 900),
     accuracy_recommenders: Sequence[str] = FIGURE3_ARECS,
     n: int = 5,
+    bandwidth: float | str = "silverman",
     scale: float = 1.0,
     seed: SeedLike = 0,
     block_size: int | None = None,
@@ -67,8 +68,9 @@ def run_sample_size_sweep(
             sample_size = max(1, min(int(requested), n_users))
             spec = ganc_spec(
                 dataset=dataset_key, arec=arec_name, theta="thetaG", coverage="dyn",
-                n=n, sample_size=sample_size, optimizer="oslg", scale=scale,
-                seed=seed, block_size=block_size, n_jobs=n_jobs, backend=backend,
+                n=n, sample_size=sample_size, bandwidth=bandwidth, optimizer="oslg",
+                scale=scale, seed=seed, block_size=block_size, n_jobs=n_jobs,
+                backend=backend,
             )
             pipeline = Pipeline(spec, recommender=arec, preference=theta).fit(split)
             run = evaluator.evaluate_recommendations(
@@ -89,6 +91,7 @@ def run_figure3(
     *,
     sample_sizes: Sequence[int] = (100, 300, 500, 700, 900),
     accuracy_recommenders: Sequence[str] = FIGURE3_ARECS,
+    bandwidth: float | str = "silverman",
     scale: float = 1.0,
     seed: SeedLike = 0,
     block_size: int | None = None,
@@ -100,6 +103,7 @@ def run_figure3(
         "ml1m",
         sample_sizes=sample_sizes,
         accuracy_recommenders=accuracy_recommenders,
+        bandwidth=bandwidth,
         scale=scale,
         seed=seed,
         block_size=block_size,
@@ -112,6 +116,7 @@ def run_figure4(
     *,
     sample_sizes: Sequence[int] = (100, 300, 500, 700, 900),
     accuracy_recommenders: Sequence[str] = FIGURE3_ARECS,
+    bandwidth: float | str = "silverman",
     scale: float = 1.0,
     seed: SeedLike = 0,
     block_size: int | None = None,
@@ -123,6 +128,7 @@ def run_figure4(
         "mt200k",
         sample_sizes=sample_sizes,
         accuracy_recommenders=accuracy_recommenders,
+        bandwidth=bandwidth,
         scale=scale,
         seed=seed,
         block_size=block_size,

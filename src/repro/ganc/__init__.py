@@ -10,6 +10,8 @@ This subpackage contains the paper's primary contribution:
 * :mod:`repro.ganc.oslg` — Ordered Sampling-based Locally Greedy
   (Algorithm 1), the scalable heuristic that samples users via a KDE of the
   long-tail preference distribution and serves them in increasing θ order,
+* :mod:`repro.ganc.incremental` — the delta-updated sequential assignment
+  engine both optimizers run their dynamic-coverage passes on,
 * :mod:`repro.ganc.kde` — a small Gaussian kernel density estimator used by
   OSLG for preference-proportionate sampling,
 * :mod:`repro.ganc.submodular` — objective evaluation and brute-force
@@ -21,9 +23,10 @@ This subpackage contains the paper's primary contribution:
 
 from repro.ganc.framework import GANC, GANCConfig
 from repro.ganc.value_function import UserValueFunction, combined_item_scores
+from repro.ganc.incremental import SequentialAssigner
 from repro.ganc.locally_greedy import LocallyGreedyOptimizer
 from repro.ganc.oslg import OSLGOptimizer, OSLGResult
-from repro.ganc.kde import GaussianKDE
+from repro.ganc.kde import GaussianKDE, validate_bandwidth
 from repro.ganc.submodular import (
     collection_value,
     dynamic_coverage_value,
@@ -35,10 +38,12 @@ __all__ = [
     "GANCConfig",
     "UserValueFunction",
     "combined_item_scores",
+    "SequentialAssigner",
     "LocallyGreedyOptimizer",
     "OSLGOptimizer",
     "OSLGResult",
     "GaussianKDE",
+    "validate_bandwidth",
     "collection_value",
     "dynamic_coverage_value",
     "brute_force_best_collection",

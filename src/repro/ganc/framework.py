@@ -30,6 +30,7 @@ from repro.coverage.base import CoverageRecommender
 from repro.coverage.dynamic import DynamicCoverage
 from repro.data.dataset import RatingDataset
 from repro.exceptions import ConfigurationError, NotFittedError
+from repro.ganc.kde import validate_bandwidth
 from repro.ganc.locally_greedy import LocallyGreedyOptimizer
 from repro.ganc.oslg import OSLGOptimizer
 from repro.ganc.value_function import UserValueFunction
@@ -52,6 +53,11 @@ class GANCConfig:
     ----------
     sample_size:
         OSLG sample size S (500 in the paper's experiments).
+    bandwidth:
+        KDE bandwidth rule (``"scott"``/``"silverman"``) or a positive value
+        for OSLG's preference-proportionate sampling; validated here at
+        construction time so a typo'd rule fails naming the parameter
+        instead of deep inside the KDE fit.
     optimizer:
         ``"oslg"``, ``"locally_greedy"``, or ``"auto"`` (OSLG whenever the
         coverage recommender is dynamic and the user count exceeds the sample
@@ -77,6 +83,7 @@ class GANCConfig:
     """
 
     sample_size: int = 500
+    bandwidth: float | str = "silverman"
     optimizer: OptimizerName = "auto"
     theta_order: Literal["increasing", "decreasing", "arbitrary"] = "increasing"
     seed: SeedLike = None
@@ -89,6 +96,7 @@ class GANCConfig:
             raise ConfigurationError(
                 f"sample_size must be >= 1, got {self.sample_size}"
             )
+        validate_bandwidth(self.bandwidth, parameter="bandwidth")
         if self.block_size is not None and self.block_size < 1:
             raise ConfigurationError(
                 f"block_size must be >= 1, got {self.block_size}"
@@ -243,6 +251,7 @@ class GANC:
                     self.coverage,  # type: ignore[arg-type]
                     n,
                     sample_size=self.config.sample_size,
+                    bandwidth=self.config.bandwidth,
                     seed=self.config.seed,
                 )
                 result = optimizer.run(
@@ -264,6 +273,9 @@ class GANC:
                 exclusions,
                 user_order=order,
                 n_users=train.n_users,
+                accuracy_matrix=accuracy_matrix,
+                exclusion_pairs=exclusion_pairs,
+                block_size=self.config.block_size,
             )
 
         # Static coverage: user value functions are independent, so the exact

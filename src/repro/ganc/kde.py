@@ -18,6 +18,37 @@ from repro.utils.rng import SeedLike, ensure_rng
 
 _SQRT_2PI = float(np.sqrt(2.0 * np.pi))
 
+#: Plug-in bandwidth selection rules understood by :class:`GaussianKDE`.
+BANDWIDTH_RULES = ("scott", "silverman")
+
+
+def validate_bandwidth(bandwidth: float | str, *, parameter: str = "bandwidth") -> float | str:
+    """Validate a KDE bandwidth rule or value at configuration time.
+
+    Historically a typo'd rule string (``"silvermann"``) survived
+    ``GANCConfig``/``OSLGOptimizer`` construction and only failed deep inside
+    the KDE fit during the sampling step.  This validator is called at every
+    construction site (config dataclasses, pipeline specs, CLI parsing) and
+    raises :class:`ConfigurationError` naming ``parameter`` — the flag or
+    field the bad value arrived through.  Returns the value unchanged.
+    """
+    if isinstance(bandwidth, str):
+        if bandwidth.strip().lower() not in BANDWIDTH_RULES:
+            raise ConfigurationError(
+                f"{parameter} must be a positive number or one of "
+                f"{'/'.join(BANDWIDTH_RULES)!s}, got {bandwidth!r}"
+            )
+        return bandwidth
+    if isinstance(bandwidth, bool) or not isinstance(bandwidth, (int, float, np.floating, np.integer)):
+        raise ConfigurationError(
+            f"{parameter} must be a positive number or one of "
+            f"{'/'.join(BANDWIDTH_RULES)!s}, got {bandwidth!r}"
+        )
+    value = float(bandwidth)
+    if not np.isfinite(value) or value <= 0:
+        raise ConfigurationError(f"{parameter} must be positive, got {value}")
+    return bandwidth
+
 
 class GaussianKDE:
     """One-dimensional Gaussian kernel density estimator.

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.coverage.base import CoverageRecommender
 from repro.exceptions import ConfigurationError
+from repro.ganc.incremental import SequentialAssigner, supports_incremental
 from repro.ganc.value_function import combined_item_scores
 from repro.parallel.executor import Executor, resolve_executor
 from repro.parallel.tasks import IndependentAssignTask
@@ -43,6 +44,34 @@ ExclusionProvider = Callable[[int], np.ndarray]
 #: block / to flattened ``(block_row, item)`` exclusion pairs.
 BatchAccuracyProvider = Callable[[np.ndarray], np.ndarray]
 BatchExclusionProvider = Callable[[np.ndarray], "tuple[np.ndarray, np.ndarray]"]
+
+
+def stacked_accuracy_provider(accuracy_scores: AccuracyScoreProvider) -> BatchAccuracyProvider:
+    """Adapt a per-user score callable to the batched provider interface."""
+
+    def matrix(users: np.ndarray) -> np.ndarray:
+        """Stack the per-user accuracy closure into block rows."""
+        return np.stack(
+            [np.asarray(accuracy_scores(int(u)), dtype=np.float64) for u in users]
+        )
+
+    return matrix
+
+
+def stacked_exclusion_provider(exclusions: ExclusionProvider) -> BatchExclusionProvider:
+    """Adapt a per-user exclusion callable to flattened block pairs."""
+
+    def pairs(users: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Flatten the per-user exclusion closure into (rows, cols) pairs."""
+        per_user = [np.asarray(exclusions(int(u)), dtype=np.int64) for u in users]
+        counts = np.array([e.size for e in per_user], dtype=np.int64)
+        if counts.sum() == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        rows = np.repeat(np.arange(len(per_user), dtype=np.int64), counts)
+        return rows, np.concatenate(per_user)
+
+    return pairs
 
 
 class LocallyGreedyOptimizer:
@@ -72,8 +101,20 @@ class LocallyGreedyOptimizer:
         *,
         user_order: Sequence[int] | None = None,
         n_users: int | None = None,
+        accuracy_matrix: BatchAccuracyProvider | None = None,
+        exclusion_pairs: BatchExclusionProvider | None = None,
+        block_size: int | None = None,
     ) -> FittedTopN:
         """Assign a top-N set to every user.
+
+        With the stock :class:`~repro.coverage.dynamic.DynamicCoverage` the
+        sequential pass runs on the incremental fast path: accuracy rows are
+        prefetched in ``block_size`` blocks through the batched providers
+        (the per-user callables are adapted when no batched ones are given —
+        identical rows either way) and the coverage scores are the live
+        delta-updated state vector instead of a per-user recompute.  Output
+        is byte-identical to the historical per-user loop, which remains the
+        fallback for custom coverage implementations.
 
         Parameters
         ----------
@@ -88,6 +129,11 @@ class LocallyGreedyOptimizer:
             Processing order; defaults to ``0..n_users-1``.
         n_users:
             Total number of users (defaults to ``len(theta)``).
+        accuracy_matrix, exclusion_pairs:
+            Optional batched providers (block of users → score block /
+            flattened exclusion pairs) used by the incremental fast path.
+        block_size:
+            Users per prefetched accuracy block on the fast path.
         """
         theta = np.asarray(theta, dtype=np.float64)
         total_users = int(n_users if n_users is not None else theta.size)
@@ -98,6 +144,17 @@ class LocallyGreedyOptimizer:
             )
 
         out = np.full((total_users, self.n), -1, dtype=np.int64)
+        if supports_incremental(self.coverage):
+            if accuracy_matrix is None:
+                accuracy_matrix = stacked_accuracy_provider(accuracy_scores)
+            if exclusion_pairs is None:
+                exclusion_pairs = stacked_exclusion_provider(exclusions)
+            assigner = SequentialAssigner(
+                self.coverage, self.n, block_size=block_size  # type: ignore[arg-type]
+            )
+            assigner.run(out, order, theta, accuracy_matrix, exclusion_pairs)
+            return FittedTopN(items=out)
+
         for user in order:
             items = self.assign_user(
                 user,

@@ -6,37 +6,45 @@ user long-tail preference estimates twice:
 1. **Sampling.**  A Gaussian KDE is fitted to the preference vector ``θ`` and
    a sample of ``S`` users is drawn from it, so the sequential pass only
    touches a representative subset of users.  The sequential complexity drops
-   from ``O(|U|·|I|·N)`` to ``O(S·|I|·N)`` at the cost of ``O(S·|I|)`` memory
-   for the stored coverage snapshots.
+   from ``O(|U|·|I|·N)`` to ``O(S·|I|·N)``.
 2. **Ordering.**  Sampled users are served in *increasing* θ order.  Early
    (popularity-leaning) users grab the established items; by the time the
    high-θ explorers are served, the dynamic coverage function has discounted
    those items and their value functions favour untouched long-tail items.
 
-Every user outside the sample is assigned independently — and therefore
-parallelizably — using the coverage snapshot of the sampled user whose θ is
-closest to theirs.  This implementation exploits that independence: the
-non-sampled users are scored and assigned in memory-bounded *blocks* of 2-D
-array operations (snapshot-conditioned coverage rows, one exclusion mask, one
-row-wise top-N per block), which is what makes the snapshot phase run at
-matrix speed instead of Python-loop speed.
+This implementation runs both phases at matrix speed:
+
+* The **sequential sampled pass** (lines 4–10) runs on the incremental
+  engine of :mod:`repro.ganc.incremental`: accuracy rows prefetched as
+  batched blocks, coverage scores blended from the delta-updated live
+  :class:`~repro.coverage.state.CoverageState`, per-user work reduced to a
+  θ-blend plus a masked argpartition top-N on preallocated buffers.
+* The per-user **snapshots** ``F(θ_u)`` (line 9) are recorded as compact
+  :class:`~repro.coverage.state.DeltaSnapshots` — O(S·N) memory instead of
+  the historical dense O(S·|I|) matrix — and reconstruct bit-identically.
+* Every user outside the sample is assigned independently (lines 11–15)
+  against the snapshot of the sampled user whose θ is closest to theirs; the
+  non-sampled users are scored and assigned in memory-bounded *blocks* of
+  2-D array operations that fan out to executor workers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from repro.coverage.dynamic import DynamicCoverage
+from repro.coverage.state import DeltaSnapshots
 from repro.exceptions import ConfigurationError
-from repro.ganc.kde import GaussianKDE
+from repro.ganc.incremental import SequentialAssigner, supports_incremental
+from repro.ganc.kde import GaussianKDE, validate_bandwidth
 from repro.ganc.locally_greedy import (
     AccuracyScoreProvider,
     BatchAccuracyProvider,
     BatchExclusionProvider,
     ExclusionProvider,
     LocallyGreedyOptimizer,
+    stacked_accuracy_provider,
+    stacked_exclusion_provider,
 )
 from repro.ganc.value_function import combined_item_scores
 from repro.parallel.executor import Executor, resolve_executor
@@ -46,7 +54,6 @@ from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.topn import iter_user_blocks, top_n_indices
 
 
-@dataclass
 class OSLGResult:
     """Output of an OSLG run.
 
@@ -57,14 +64,55 @@ class OSLGResult:
     sampled_users:
         Users that were processed sequentially, in processing order
         (increasing θ).
+    snapshot_log:
+        Compact per-step snapshot record (base counts + assignment deltas),
+        aligned with ``sampled_users`` — ``None`` when the run took the
+        generic fallback for a ``DynamicCoverage`` subclass with custom
+        counting semantics, in which case the dense matrix was captured
+        directly.
     snapshots:
-        Coverage frequency snapshots ``F(θ_u)`` recorded after each sampled
-        user, aligned with ``sampled_users``.
+        The dense ``(S, n_items)`` frequency snapshot matrix ``F(θ_u)``,
+        reconstructed (and cached) from ``snapshot_log`` on first access —
+        byte-identical to the historical eagerly-stored array.
     """
 
-    top_n: FittedTopN
-    sampled_users: np.ndarray
-    snapshots: np.ndarray
+    __slots__ = ("top_n", "sampled_users", "snapshot_log", "_snapshots")
+
+    def __init__(
+        self,
+        top_n: FittedTopN,
+        sampled_users: np.ndarray,
+        snapshot_log: DeltaSnapshots | None = None,
+        snapshots: np.ndarray | None = None,
+    ) -> None:
+        if snapshot_log is None and snapshots is None:
+            raise ConfigurationError(
+                "OSLGResult needs a snapshot_log or a dense snapshots matrix"
+            )
+        self.top_n = top_n
+        self.sampled_users = sampled_users
+        self.snapshot_log = snapshot_log
+        self._snapshots = snapshots
+
+    @property
+    def snapshots(self) -> np.ndarray:
+        """Dense snapshot matrix, materialized lazily from the delta log."""
+        if self._snapshots is None:
+            assert self.snapshot_log is not None
+            self._snapshots = self.snapshot_log.dense()
+        return self._snapshots
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        steps = (
+            f"{self.snapshot_log.n_steps} step(s)"
+            if self.snapshot_log is not None
+            else f"dense {self._snapshots.shape}"
+        )
+        return (
+            f"OSLGResult(top_n={self.top_n!r}, "
+            f"sampled_users={self.sampled_users.size}, "
+            f"snapshots={steps})"
+        )
 
 
 class OSLGOptimizer:
@@ -81,7 +129,9 @@ class OSLGOptimizer:
         experiments).  Values larger than the user count fall back to a full
         sequential pass.
     bandwidth:
-        KDE bandwidth rule or value.
+        KDE bandwidth rule or value; validated here, at construction time, so
+        a typo'd rule fails naming the parameter instead of deep inside the
+        sampling step.
     seed:
         Seed for the KDE sampling step.
     """
@@ -107,7 +157,7 @@ class OSLGOptimizer:
         self.coverage = coverage
         self.n = int(n)
         self.sample_size = int(sample_size)
-        self.bandwidth = bandwidth
+        self.bandwidth = validate_bandwidth(bandwidth, parameter="bandwidth")
         self._seed = seed
 
     # ------------------------------------------------------------------ #
@@ -125,13 +175,13 @@ class OSLGOptimizer:
     ) -> OSLGResult:
         """Execute Algorithm 1 and return the assigned collection.
 
-        The sequential sampled pass uses the per-user providers; the
-        snapshot-assignment phase processes the remaining users in blocks and
-        prefers the batched providers when given, falling back to stacking
-        the per-user ones (same rows, so the result is identical).  The
-        snapshot blocks are mutually independent — exactly the parallelism
-        the paper points out — and fan out to ``executor``/``n_jobs``
-        workers with byte-identical results on every backend.
+        Both phases use the batched providers when given and adapt the
+        per-user callables otherwise (identical rows, so the result is
+        unchanged).  The sequential sampled pass runs on the incremental
+        delta-updated engine; the snapshot blocks are mutually independent —
+        exactly the parallelism the paper points out — and fan out to
+        ``executor``/``n_jobs`` workers with byte-identical results on every
+        backend.
         """
         theta = np.asarray(theta, dtype=np.float64)
         n_users = theta.size
@@ -143,30 +193,60 @@ class OSLGOptimizer:
         # Line 3: sort the sample in increasing long-tail preference.
         sampled = sampled[np.argsort(theta[sampled], kind="stable")]
 
+        if accuracy_matrix is None:
+            accuracy_matrix = stacked_accuracy_provider(accuracy_scores)
+        if exclusion_pairs is None:
+            exclusion_pairs = stacked_exclusion_provider(exclusions)
+
         out = np.full((n_users, self.n), -1, dtype=np.int64)
-        snapshots = np.zeros((sampled.size, self.coverage.n_items), dtype=np.float64)
-        greedy = LocallyGreedyOptimizer(self.coverage, self.n)
 
         # Lines 4-10: sequential pass over the sampled users.
-        for position, user in enumerate(sampled):
-            items = greedy.assign_user(
-                int(user), float(theta[user]), accuracy_scores(int(user)), exclusions(int(user))
+        log: DeltaSnapshots | None = None
+        dense_snapshots: np.ndarray | None = None
+        if supports_incremental(self.coverage):
+            log = DeltaSnapshots(self.coverage.frequencies)
+            record = log.record
+            assigner = SequentialAssigner(self.coverage, self.n, block_size=block_size)
+            assigner.run(
+                out,
+                sampled,
+                theta,
+                accuracy_matrix,
+                exclusion_pairs,
+                on_assign=lambda _user, items: record(items),
             )
-            out[user, : items.size] = items
-            self.coverage.update(items)
-            snapshots[position] = self.coverage.frequencies
+        else:
+            # A DynamicCoverage subclass may count assignments however it
+            # likes, so a delta replay cannot stand in for its state —
+            # capture the dense frequency snapshots directly, as the
+            # historical implementation did.
+            dense_snapshots = np.zeros(
+                (sampled.size, self.coverage.n_items), dtype=np.float64
+            )
+            greedy = LocallyGreedyOptimizer(self.coverage, self.n)
+            for position, user in enumerate(sampled):
+                items = greedy.assign_user(
+                    int(user),
+                    float(theta[user]),
+                    accuracy_scores(int(user)),
+                    exclusions(int(user)),
+                )
+                out[user, : items.size] = items
+                self.coverage.update(items)
+                dense_snapshots[position] = self.coverage.frequencies
 
         # Lines 11-15: every remaining user reuses the snapshot of the nearest
         # sampled θ; assignments are mutually independent, so whole blocks are
         # scored and selected as 2-D operations.
         remaining = np.setdiff1d(np.arange(n_users), sampled, assume_unique=False)
         if remaining.size:
-            if accuracy_matrix is None:
-                accuracy_matrix = self._stacked_provider(accuracy_scores)
-            if exclusion_pairs is None:
-                exclusion_pairs = self._stacked_exclusions(exclusions)
             task = SnapshotAssignTask(
-                theta, theta[sampled], snapshots, self.n, accuracy_matrix, exclusion_pairs
+                theta,
+                theta[sampled],
+                log if log is not None else dense_snapshots,
+                self.n,
+                accuracy_matrix,
+                exclusion_pairs,
             )
             blocks = [remaining[block] for block in iter_user_blocks(remaining.size, block_size)]
             snapshot_executor = resolve_executor(executor, n_jobs)
@@ -176,36 +256,9 @@ class OSLGOptimizer:
         return OSLGResult(
             top_n=FittedTopN(items=out),
             sampled_users=sampled,
-            snapshots=snapshots,
+            snapshot_log=log,
+            snapshots=dense_snapshots,
         )
-
-    @staticmethod
-    def _stacked_provider(accuracy_scores: AccuracyScoreProvider) -> BatchAccuracyProvider:
-        """Adapt a per-user score callable to the batched provider interface."""
-
-        def matrix(users: np.ndarray) -> np.ndarray:
-            """Stack the per-user accuracy closure into block rows."""
-            return np.stack(
-                [np.asarray(accuracy_scores(int(u)), dtype=np.float64) for u in users]
-            )
-
-        return matrix
-
-    @staticmethod
-    def _stacked_exclusions(exclusions: ExclusionProvider) -> BatchExclusionProvider:
-        """Adapt a per-user exclusion callable to flattened block pairs."""
-
-        def pairs(users: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-            """Flatten the per-user exclusion closure into (rows, cols) pairs."""
-            per_user = [np.asarray(exclusions(int(u)), dtype=np.int64) for u in users]
-            counts = np.array([e.size for e in per_user], dtype=np.int64)
-            if counts.sum() == 0:
-                empty = np.empty(0, dtype=np.int64)
-                return empty, empty
-            rows = np.repeat(np.arange(len(per_user), dtype=np.int64), counts)
-            return rows, np.concatenate(per_user)
-
-        return pairs
 
     # ------------------------------------------------------------------ #
     def _sample_users(self, theta: np.ndarray, rng: np.random.Generator) -> np.ndarray:

@@ -66,6 +66,9 @@ def dynamic_coverage_value(
     """
     if user_order is None:
         user_order = sorted(assignments)
+    # Dict-keyed counts, not an array: assignments may carry sentinel ids
+    # (e.g. the -1 padding of short FittedTopN rows) that must count as
+    # their own bucket rather than alias a real item's frequency.
     frequencies: dict[int, int] = {}
     total = 0.0
     for user in user_order:

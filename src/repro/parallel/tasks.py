@@ -182,35 +182,51 @@ class SnapshotAssignTask:
 
     Every non-sampled user is scored against the frozen coverage snapshot of
     the sampled user with the nearest θ; blocks are mutually independent.
-    The snapshots and θ vectors are plain arrays and pickle as-is; the
-    accuracy/exclusion providers handle their own state shipping.
+    ``snapshots`` is preferably a compact
+    :class:`~repro.coverage.state.DeltaSnapshots` log — it pickles at
+    O(|I| + S·N) instead of the dense matrix's O(S·|I|), and each block
+    reconstructs only the score rows of the snapshot positions it actually
+    references (bit-identical to the dense path).  A plain dense
+    ``(S, n_items)`` frequency array is still accepted.  The θ vectors
+    pickle as-is; the accuracy/exclusion providers handle their own state
+    shipping.
     """
 
     def __init__(
         self,
         theta: np.ndarray,
         sampled_theta: np.ndarray,
-        snapshots: np.ndarray,
+        snapshots: Any,
         n: int,
         accuracy_matrix: Any,
         exclusion_pairs: Any,
     ) -> None:
         self.theta = np.asarray(theta, dtype=np.float64)
         self.sampled_theta = np.asarray(sampled_theta, dtype=np.float64)
-        self.snapshots = np.asarray(snapshots, dtype=np.float64)
+        from repro.coverage.state import DeltaSnapshots
+
+        if isinstance(snapshots, DeltaSnapshots):
+            self.snapshots = snapshots
+        else:
+            self.snapshots = np.asarray(snapshots, dtype=np.float64)
         self.n = int(n)
         self.accuracy_matrix = accuracy_matrix
         self.exclusion_pairs = exclusion_pairs
 
-    def __call__(self, users: np.ndarray) -> np.ndarray:
+    def _coverage_block(self, nearest: np.ndarray) -> np.ndarray:
         from repro.coverage.dynamic import DynamicCoverage
+        from repro.coverage.state import DeltaSnapshots
 
+        if isinstance(self.snapshots, DeltaSnapshots):
+            return self.snapshots.scores_at(nearest)
+        return DynamicCoverage.snapshot_scores(self.snapshots[nearest])
+
+    def __call__(self, users: np.ndarray) -> np.ndarray:
         nearest = np.argmin(
             np.abs(self.sampled_theta[None, :] - self.theta[users, None]), axis=1
         )
-        coverage_block = DynamicCoverage.snapshot_scores(self.snapshots[nearest])
         values = _combined_score_matrix(
-            self.accuracy_matrix(users), coverage_block, self.theta[users]
+            self.accuracy_matrix(users), self._coverage_block(nearest), self.theta[users]
         )
         rows, cols = self.exclusion_pairs(users)
         mask_pairs(values, rows, cols)

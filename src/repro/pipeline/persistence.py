@@ -44,6 +44,7 @@ FORMAT_VERSION = 1
 _SKIPPED_ATTRIBUTES = frozenset({"_train", "history_", "trace_", "last_oslg_result_"})
 
 _SPARSE_MARKER = "__sparse_csr__"
+_COVERAGE_STATE_MARKER = "__coverage_state__"
 
 
 # --------------------------------------------------------------------------- #
@@ -51,6 +52,8 @@ _SPARSE_MARKER = "__sparse_csr__"
 # --------------------------------------------------------------------------- #
 def component_state(component: object) -> tuple[dict[str, np.ndarray], dict[str, Any]]:
     """Split a component's instance attributes into (arrays, scalar meta)."""
+    from repro.coverage.state import CoverageState
+
     arrays: dict[str, np.ndarray] = {}
     meta: dict[str, Any] = {}
     for name, value in vars(component).items():
@@ -60,6 +63,10 @@ def component_state(component: object) -> tuple[dict[str, np.ndarray], dict[str,
             meta[name] = None
         elif isinstance(value, np.ndarray):
             arrays[name] = value
+        elif isinstance(value, CoverageState):
+            # The scores are derived; the counts fully determine the state.
+            arrays[f"{name}::counts"] = np.asarray(value.counts)
+            meta[name] = {_COVERAGE_STATE_MARKER: True}
         elif sparse.issparse(value):
             csr = value.tocsr()
             arrays[f"{name}::data"] = csr.data
@@ -85,6 +92,8 @@ def restore_component_state(
     meta: Mapping[str, Any],
 ) -> None:
     """Inverse of :func:`component_state` (mutates ``component`` in place)."""
+    from repro.coverage.state import CoverageState
+
     for name, value in meta.items():
         if isinstance(value, Mapping) and value.get(_SPARSE_MARKER):
             matrix = sparse.csr_matrix(
@@ -92,6 +101,8 @@ def restore_component_state(
                 shape=tuple(value["shape"]),
             )
             setattr(component, name, matrix)
+        elif isinstance(value, Mapping) and value.get(_COVERAGE_STATE_MARKER):
+            setattr(component, name, CoverageState(arrays[f"{name}::counts"]))
         else:
             setattr(component, name, value)
     for name, value in arrays.items():

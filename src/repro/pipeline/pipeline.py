@@ -127,6 +127,7 @@ class Pipeline:
         execution = self.spec.execution
         return GANCConfig(
             sample_size=max(1, min(section.sample_size, n_users)),
+            bandwidth=section.bandwidth,
             optimizer=section.optimizer,  # type: ignore[arg-type]
             theta_order=section.theta_order,  # type: ignore[arg-type]
             seed=self.spec.resolved_seed(section.seed),
@@ -153,6 +154,22 @@ class Pipeline:
                 self._model.config, n_jobs=execution.n_jobs, backend=execution.backend
             )
         self._evaluator = None
+        return self
+
+    def set_ganc(self, ganc: Any) -> "Pipeline":
+        """Swap the spec's ``ganc`` section (optimizer knobs, not components).
+
+        Unlike :meth:`set_execution` this *does* change what is computed —
+        sample size, KDE bandwidth and θ ordering are modelling choices —
+        but none of it is baked in at fit time: an already-fitted GANC model
+        gets a rebuilt config (with ``sample_size`` clipped to the fitted
+        user count, as at fit time) and the next :meth:`recommend_all`
+        optimizes under the new knobs without any refit.
+        """
+        self.spec = replace(self.spec, ganc=ganc)
+        if self._model is not None:
+            assert self._split is not None
+            self._model.config = self._ganc_config(self._split.train.n_users)
         return self
 
     # ------------------------------------------------------------------ #

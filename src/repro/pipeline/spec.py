@@ -40,6 +40,7 @@ from pathlib import Path
 from typing import Any, Mapping
 
 from repro.exceptions import ConfigurationError
+from repro.ganc.kde import validate_bandwidth
 from repro.parallel.executor import EXECUTOR_BACKENDS, effective_n_jobs
 
 _MISSING = object()
@@ -130,6 +131,7 @@ class GANCSpec:
     """
 
     sample_size: int = 500
+    bandwidth: float | str = "silverman"
     optimizer: str = "auto"
     theta_order: str = "increasing"
     block_size: int | None = None
@@ -138,6 +140,7 @@ class GANCSpec:
     def __post_init__(self) -> None:
         if self.sample_size < 1:
             raise ConfigurationError(f"sample_size must be >= 1, got {self.sample_size}")
+        validate_bandwidth(self.bandwidth, parameter="bandwidth")
         if self.optimizer not in ("auto", "oslg", "locally_greedy"):
             raise ConfigurationError(
                 f"optimizer must be 'auto', 'oslg' or 'locally_greedy', got {self.optimizer!r}"
@@ -154,6 +157,7 @@ class GANCSpec:
         """Plain-dict form."""
         return {
             "sample_size": self.sample_size,
+            "bandwidth": self.bandwidth,
             "optimizer": self.optimizer,
             "theta_order": self.theta_order,
             "block_size": self.block_size,
@@ -162,11 +166,17 @@ class GANCSpec:
 
     @classmethod
     def from_config(cls, config: Mapping[str, Any]) -> "GANCSpec":
-        """Rebuild from :meth:`to_config` output."""
+        """Rebuild from :meth:`to_config` output (``bandwidth`` is optional
+        so spec files written before it existed still load)."""
         config = _require_mapping(config, "ganc")
-        _check_keys(config, ("sample_size", "optimizer", "theta_order", "block_size", "seed"), "ganc")
+        _check_keys(
+            config,
+            ("sample_size", "bandwidth", "optimizer", "theta_order", "block_size", "seed"),
+            "ganc",
+        )
         return cls(
             sample_size=int(config.get("sample_size", 500)),
+            bandwidth=config.get("bandwidth", "silverman"),
             optimizer=config.get("optimizer", "auto"),
             theta_order=config.get("theta_order", "increasing"),
             block_size=config.get("block_size"),
@@ -364,6 +374,7 @@ def ganc_spec(
     coverage: str = "dyn",
     n: int = 5,
     sample_size: int = 500,
+    bandwidth: float | str = "silverman",
     optimizer: str = "auto",
     theta_order: str = "increasing",
     scale: float = 1.0,
@@ -381,6 +392,7 @@ def ganc_spec(
         coverage=ComponentSpec(coverage),
         ganc=GANCSpec(
             sample_size=sample_size,
+            bandwidth=bandwidth,
             optimizer=optimizer,
             theta_order=theta_order,
             block_size=block_size,

@@ -39,7 +39,13 @@ def iter_user_blocks(n_users: int, block_size: int | None = None) -> Iterator[np
         yield np.arange(start, min(start + size, int(n_users)), dtype=np.int64)
 
 
-def top_n_indices(scores: np.ndarray, n: int) -> np.ndarray:
+def top_n_indices(
+    scores: np.ndarray,
+    n: int,
+    *,
+    work: np.ndarray | None = None,
+    assume_finite: bool = False,
+) -> np.ndarray:
     """Indices of the top-``n`` finite entries of a 1-D score vector.
 
     Returns at most ``n`` indices in decreasing score order, ties broken by
@@ -47,6 +53,18 @@ def top_n_indices(scores: np.ndarray, n: int) -> np.ndarray:
     Selection is ``O(n_items + n log n)`` via ``argpartition`` in the common
     case, with a full stable sort only when a tie spans the selection
     boundary (same fallback rule as :func:`top_n_matrix`).
+
+    ``work`` is an optional preallocated float64 scratch buffer of the same
+    shape as ``scores``; tight sequential callers (the incremental GANC pass
+    calls this once per user) reuse one buffer instead of allocating the
+    negated copy every call.  Its contents are clobbered.
+
+    ``assume_finite=True`` asserts the caller's guarantee that ``scores``
+    contains no ``NaN`` and no ``+inf`` (``-inf`` exclusion masks are fine —
+    negation maps them to ``+inf``, which the selection already never
+    returns).  This skips the non-finite scrub pass; results are identical
+    whenever the guarantee holds.  The incremental GANC engine establishes
+    it once per prefetched block instead of once per user.
     """
     scores = np.asarray(scores, dtype=np.float64)
     n = int(n)
@@ -54,8 +72,17 @@ def top_n_indices(scores: np.ndarray, n: int) -> np.ndarray:
     if k <= 0:
         return np.empty(0, dtype=np.int64)
 
-    work = -scores
-    work[~np.isfinite(work)] = np.inf
+    if work is None:
+        work = -scores
+    else:
+        if work.shape != scores.shape or work.dtype != np.float64:
+            raise ValueError(
+                f"work buffer must be float64 with shape {scores.shape}, "
+                f"got {work.dtype} {work.shape}"
+            )
+        np.negative(scores, out=work)
+    if not assume_finite:
+        work[~np.isfinite(work)] = np.inf
 
     if k < work.size:
         part = np.argpartition(work, k - 1)[:k]
@@ -67,6 +94,9 @@ def top_n_indices(scores: np.ndarray, n: int) -> np.ndarray:
             cols = np.sort(part)
             order = np.argsort(work[cols], kind="stable")
             cols = cols[order]
+            if thresh != np.inf:
+                # No excluded entry was selected; skip the finiteness filter.
+                return cols.astype(np.int64, copy=False)
             return cols[np.isfinite(work[cols])].astype(np.int64, copy=False)
 
     order = np.argsort(work, kind="stable")

@@ -1,0 +1,78 @@
+"""Schema checks for the committed machine-readable benchmark outputs.
+
+``benchmarks/output/BENCH_*.json`` documents are the PR-over-PR performance
+trajectory; these tests pin their schema (via the shared ``bench_json``
+validator) so a malformed committed document — or a drifting schema —
+fails in the tier-1 suite, not only in the CI bench-smoke job.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_DIR = REPO_ROOT / "benchmarks"
+OUTPUT_DIR = BENCH_DIR / "output"
+
+sys.path.insert(0, str(BENCH_DIR))
+
+import bench_json  # noqa: E402
+
+#: Documents every PR must keep committed (one per standalone driver).
+EXPECTED_DOCUMENTS = (
+    "BENCH_ganc.json",
+    "BENCH_batch_scoring.json",
+    "BENCH_parallel_scaling.json",
+    "BENCH_serving.json",
+)
+
+
+@pytest.mark.parametrize("name", EXPECTED_DOCUMENTS)
+def test_committed_bench_document_is_valid(name):
+    path = OUTPUT_DIR / name
+    assert path.exists(), (
+        f"{name} is missing; regenerate it with "
+        "`PYTHONPATH=src python benchmarks/run_all.py`"
+    )
+    payload = bench_json.load_and_validate(path)
+    assert f"BENCH_{payload['bench']}.json" == name
+
+
+def test_ganc_document_records_the_issue_gates():
+    """The committed GANC numbers must clear the ISSUE's headline gates."""
+    payload = bench_json.load_and_validate(OUTPUT_DIR / "BENCH_ganc.json")
+    headline = payload["config"]["headline"]
+    speedups = payload["speedups"]
+    assert payload["equal"] is True
+    assert speedups[f"{headline}_sequential_sampled_pass"] >= 5.0
+    assert speedups[f"{headline}_oslg_end_to_end"] >= 3.0
+
+
+def test_validator_rejects_malformed_payloads():
+    assert bench_json.validate_payload([]) != []
+    assert bench_json.validate_payload({"schema": 0}) != []
+    errors = bench_json.validate_payload(
+        {
+            "schema": bench_json.SCHEMA_VERSION,
+            "bench": "x",
+            "config": {"a": 1},
+            "metrics": {"m": float("nan")},
+        }
+    )
+    assert any("finite" in error for error in errors)
+    assert (
+        bench_json.validate_payload(
+            {
+                "schema": bench_json.SCHEMA_VERSION,
+                "bench": "x",
+                "config": {"a": 1},
+                "metrics": {"m": 1.0},
+                "speedups": {"s": 2.0},
+                "equal": True,
+            }
+        )
+        == []
+    )

@@ -286,3 +286,83 @@ def test_cli_load_pipeline_jobs_override_serves_identically(tmp_path, capsys):
         ]
     ) == 0
     assert serial_csv.read_bytes() == parallel_csv.read_bytes()
+
+
+# --------------------------------------------------------------------------- #
+# GANC optimizer knobs: --sample-size / --bandwidth / --theta-order
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize(
+    "option,value",
+    [
+        ("--sample-size", "0"),
+        ("--sample-size", "-3"),
+        ("--sample-size", "many"),
+        ("--bandwidth", "0"),
+        ("--bandwidth", "-1.5"),
+        ("--bandwidth", "silvermann"),
+        ("--bandwidth", "inf"),
+        ("--theta-order", "sideways"),
+    ],
+)
+def test_cli_recommend_rejects_bad_ganc_knobs(option, value):
+    with pytest.raises(ConfigurationError, match=option.replace("-", "[-]")):
+        main(["recommend", option, value])
+
+
+@pytest.mark.parametrize(
+    "option,value",
+    [
+        ("--sample-size", "0"),
+        ("--bandwidth", "nope"),
+        ("--theta-order", "diagonal"),
+    ],
+)
+def test_cli_run_rejects_bad_ganc_knobs(tmp_path, option, value):
+    with pytest.raises(ConfigurationError, match=option.replace("-", "[-]")):
+        main(["run", "--config", str(tmp_path / "spec.json"), option, value])
+
+
+def test_cli_recommend_threads_ganc_knobs_into_spec(tmp_path):
+    spec_path = tmp_path / "spec.json"
+    assert main(
+        [
+            "recommend", "--dataset", "ml100k", "--scale", "0.2",
+            "--arec", "pop", "--theta", "thetaT", "--coverage", "dyn",
+            "--sample-size", "17", "--bandwidth", "0.25",
+            "--theta-order", "decreasing",
+            "--dump-spec", str(spec_path),
+        ]
+    ) == 0
+    from repro.pipeline import PipelineSpec
+
+    spec = PipelineSpec.from_json_file(spec_path)
+    assert spec.ganc.sample_size == 17
+    assert spec.ganc.bandwidth == 0.25
+    assert spec.ganc.theta_order == "decreasing"
+
+
+def test_cli_run_ganc_overrides_change_the_run(tmp_path, capsys):
+    """`run` overrides must actually reach the optimizer: a different
+
+    sample size changes which users are served sequentially, while the same
+    override value reproduces the unmodified spec byte-for-byte."""
+    spec_path = tmp_path / "spec.json"
+    base_csv = tmp_path / "base.csv"
+    same_csv = tmp_path / "same.csv"
+    assert main(
+        [
+            "recommend", "--dataset", "ml100k", "--scale", "0.2",
+            "--arec", "pop", "--theta", "thetaT", "--coverage", "dyn",
+            "--sample-size", "30",
+            "--dump-spec", str(spec_path),
+            "--save-recommendations", str(base_csv),
+        ]
+    ) == 0
+    assert main(
+        [
+            "run", "--config", str(spec_path),
+            "--sample-size", "30",
+            "--save-recommendations", str(same_csv),
+        ]
+    ) == 0
+    assert base_csv.read_bytes() == same_csv.read_bytes()

@@ -1,0 +1,227 @@
+"""Tests for the incremental coverage state and delta snapshots.
+
+The incremental GANC core rests on two equivalences, both checked here with
+exact (bitwise) equality — the golden masters depend on them:
+
+* a delta-updated :class:`CoverageState` equals a from-scratch
+  ``1 / sqrt(f + 1)`` recompute after *any* assignment sequence;
+* a :class:`DeltaSnapshots` log reconstructs the historical dense snapshot
+  matrix and its score rows exactly.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coverage.dynamic import DynamicCoverage
+from repro.coverage.state import CoverageState, DeltaSnapshots
+from repro.exceptions import ConfigurationError
+
+FAST = settings(max_examples=50, deadline=None)
+
+#: Arbitrary assignment sequences over a small item universe: each step
+#: assigns up to 6 items, duplicates allowed (np.add.at semantics).
+ASSIGNMENTS = st.lists(
+    st.lists(st.integers(0, 19), min_size=0, max_size=6),
+    min_size=0,
+    max_size=25,
+)
+
+N_ITEMS = 20
+
+
+def recompute_scores(counts: np.ndarray) -> np.ndarray:
+    """The historical full recompute the incremental state replaces."""
+    return 1.0 / np.sqrt(counts + 1.0)
+
+
+# --------------------------------------------------------------------------- #
+# CoverageState
+# --------------------------------------------------------------------------- #
+class TestCoverageState:
+    def test_zeros_scores_are_all_one(self):
+        state = CoverageState.zeros(5)
+        np.testing.assert_array_equal(state.counts, np.zeros(5))
+        np.testing.assert_array_equal(state.scores, np.ones(5))
+
+    def test_constructor_copies_and_derives(self):
+        counts = np.array([0.0, 3.0, 8.0])
+        state = CoverageState(counts)
+        counts[0] = 99.0  # the state must not alias caller memory
+        np.testing.assert_array_equal(state.counts, [0.0, 3.0, 8.0])
+        np.testing.assert_array_equal(state.scores, recompute_scores(state.counts))
+
+    def test_views_are_read_only(self):
+        state = CoverageState.zeros(4)
+        with pytest.raises(ValueError):
+            state.counts[0] = 1.0
+        with pytest.raises(ValueError):
+            state.scores[0] = 0.5
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoverageState(np.array([1.0, -1.0]))
+        with pytest.raises(ConfigurationError):
+            CoverageState(np.ones((2, 2)))
+
+    def test_apply_duplicates_count_per_occurrence(self):
+        state = CoverageState.zeros(4)
+        state.apply(np.array([2, 2, 0]))
+        np.testing.assert_array_equal(state.counts, [1.0, 0.0, 2.0, 0.0])
+        np.testing.assert_array_equal(state.scores, recompute_scores(state.counts))
+
+    def test_apply_empty_is_a_no_op(self):
+        state = CoverageState.zeros(3)
+        state.apply(np.empty(0, dtype=np.int64))
+        np.testing.assert_array_equal(state.counts, np.zeros(3))
+
+    def test_reset_restores_fresh_state(self):
+        state = CoverageState.zeros(4)
+        state.apply(np.array([0, 1, 1]))
+        state.reset()
+        np.testing.assert_array_equal(state.counts, np.zeros(4))
+        np.testing.assert_array_equal(state.scores, np.ones(4))
+
+    def test_scores_view_is_live(self):
+        state = CoverageState.zeros(3)
+        view = state.scores
+        state.apply(np.array([1]))
+        assert view[1] == recompute_scores(np.array([1.0]))[0]
+
+    @FAST
+    @given(steps=ASSIGNMENTS)
+    def test_incremental_equals_recompute_after_any_sequence(self, steps):
+        state = CoverageState.zeros(N_ITEMS)
+        counts = np.zeros(N_ITEMS)
+        for items in steps:
+            items = np.asarray(items, dtype=np.int64)
+            state.apply(items)
+            if items.size:
+                np.add.at(counts, items, 1.0)
+        np.testing.assert_array_equal(state.counts, counts)
+        # Bitwise equality: the incremental scores must be indistinguishable
+        # from the historical full recompute.
+        assert np.array_equal(state.scores, recompute_scores(counts))
+
+
+# --------------------------------------------------------------------------- #
+# DeltaSnapshots
+# --------------------------------------------------------------------------- #
+class TestDeltaSnapshots:
+    def _dense_reference(self, base, steps):
+        counts = np.asarray(base, dtype=np.float64).copy()
+        rows = []
+        for items in steps:
+            items = np.asarray(items, dtype=np.int64)
+            if items.size:
+                np.add.at(counts, items, 1.0)
+            rows.append(counts.copy())
+        return np.asarray(rows).reshape(len(steps), counts.size)
+
+    def test_record_validates_item_range(self):
+        log = DeltaSnapshots(np.zeros(4))
+        with pytest.raises(ConfigurationError):
+            log.record(np.array([4]))
+        with pytest.raises(ConfigurationError):
+            log.record(np.array([-1]))
+
+    def test_positions_validated(self):
+        log = DeltaSnapshots(np.zeros(4))
+        log.record(np.array([0]))
+        with pytest.raises(ConfigurationError):
+            log.counts_at(1)
+        with pytest.raises(ConfigurationError):
+            log.scores_at(np.array([-1]))
+
+    def test_scores_at_empty_positions(self):
+        log = DeltaSnapshots(np.zeros(4))
+        assert log.scores_at(np.empty(0, dtype=np.int64)).shape == (0, 4)
+
+    @FAST
+    @given(
+        steps=st.lists(
+            st.lists(st.integers(0, N_ITEMS - 1), min_size=0, max_size=6),
+            min_size=1,
+            max_size=20,
+        ),
+        base=st.lists(st.integers(0, 5), min_size=N_ITEMS, max_size=N_ITEMS),
+        data=st.data(),
+    )
+    def test_reconstruction_equals_dense_snapshots(self, steps, base, data):
+        base = np.asarray(base, dtype=np.float64)
+        log = DeltaSnapshots(base)
+        for items in steps:
+            log.record(np.asarray(items, dtype=np.int64))
+        dense = self._dense_reference(base, steps)
+
+        assert np.array_equal(log.dense(), dense)
+        position = data.draw(st.integers(0, len(steps) - 1))
+        assert np.array_equal(log.counts_at(position), dense[position])
+
+        positions = np.asarray(
+            data.draw(
+                st.lists(st.integers(0, len(steps) - 1), min_size=1, max_size=10)
+            ),
+            dtype=np.int64,
+        )
+        # Bitwise: delta-reconstructed score rows == dense-derived rows.
+        assert np.array_equal(
+            log.scores_at(positions),
+            DynamicCoverage.snapshot_scores(dense[positions]),
+        )
+
+    def test_pickle_round_trip(self):
+        log = DeltaSnapshots(np.arange(4, dtype=np.float64))
+        log.record(np.array([0, 3]))
+        log.record(np.array([3]))
+        clone = pickle.loads(pickle.dumps(log))
+        assert np.array_equal(clone.dense(), log.dense())
+        assert np.array_equal(clone.base_counts, log.base_counts)
+
+    def test_compact_memory_vs_dense(self):
+        """The log stores O(|I| + S*N) numbers, not O(S*|I|)."""
+        n_items, steps, n = 1000, 50, 5
+        log = DeltaSnapshots(np.zeros(n_items))
+        rng = np.random.default_rng(0)
+        for _ in range(steps):
+            log.record(rng.choice(n_items, size=n, replace=False))
+        stored = log.base_counts.size + sum(d.size for d in log._deltas)
+        assert stored == n_items + steps * n
+        assert stored < steps * n_items / 10  # an order denser than dense
+
+
+# --------------------------------------------------------------------------- #
+# DynamicCoverage over the state
+# --------------------------------------------------------------------------- #
+class TestDynamicCoverageState:
+    def test_set_frequencies_rebuilds_scores(self, tiny_dataset):
+        coverage = DynamicCoverage().fit(tiny_dataset)
+        counts = np.arange(tiny_dataset.n_items, dtype=np.float64)
+        coverage.set_frequencies(counts)
+        assert np.array_equal(coverage.scores(0), recompute_scores(counts))
+
+    def test_scores_returns_fresh_writable_copy(self, tiny_dataset):
+        coverage = DynamicCoverage().fit(tiny_dataset)
+        scores = coverage.scores(0)
+        scores[0] = -1.0  # mutating the copy must not corrupt the state
+        assert coverage.scores(0)[0] == 1.0
+
+    def test_scores_matrix_broadcasts_current_state(self, tiny_dataset):
+        coverage = DynamicCoverage().fit(tiny_dataset)
+        coverage.update(np.array([0, 1]))
+        block = coverage.scores_matrix(np.array([0, 1, 2]))
+        assert block.shape == (3, tiny_dataset.n_items)
+        np.testing.assert_array_equal(block[0], coverage.scores(0))
+        np.testing.assert_array_equal(block[1], block[0])
+
+    def test_user_independent_flags(self, tiny_dataset):
+        from repro.coverage.random import RandomCoverage
+        from repro.coverage.static import StaticCoverage
+
+        assert DynamicCoverage().user_independent
+        assert StaticCoverage().user_independent
+        assert not RandomCoverage().user_independent

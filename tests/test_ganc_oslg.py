@@ -120,3 +120,53 @@ def test_larger_sample_size_increases_coverage(medium_split):
         )
 
     assert distinct_items(train.n_users) >= distinct_items(5)
+
+
+@pytest.mark.parametrize("bad", ["silvermann", "", -0.5, 0, float("nan")])
+def test_oslg_rejects_bad_bandwidth_at_construction(tiny_dataset, bad):
+    coverage = DynamicCoverage().fit(tiny_dataset)
+    with pytest.raises(ConfigurationError, match="bandwidth"):
+        OSLGOptimizer(coverage, 2, bandwidth=bad)
+
+
+def test_oslg_snapshot_log_is_compact_and_reconstructs(medium_split):
+    """snapshots is a lazily densified view over O(S*N) recorded deltas."""
+    train = medium_split.train
+    theta = GeneralizedPreference().estimate(train).theta
+    accuracy, exclusions = _providers(train)
+    result = OSLGOptimizer(
+        DynamicCoverage().fit(train), 4, sample_size=15, seed=5
+    ).run(theta, accuracy, exclusions)
+    log = result.snapshot_log
+    assert log.n_steps == 15
+    assert sum(d.size for d in log._deltas) <= 15 * 4
+    dense = result.snapshots
+    assert dense.shape == (15, train.n_items)
+    assert np.array_equal(log.dense(), dense)
+    np.testing.assert_array_equal(
+        log.counts_at(log.n_steps - 1), dense[-1]
+    )
+
+
+def test_oslg_fallback_snapshots_track_subclass_counting(medium_split):
+    """A DynamicCoverage subclass with custom counting must get snapshots of
+    its *actual* frequencies (dense capture), not a +1-per-item delta replay."""
+
+    class DoubleCountCoverage(DynamicCoverage):
+        def update(self, items):
+            super().update(items)
+            super().update(items)  # counts every assignment twice
+
+    train = medium_split.train
+    theta = GeneralizedPreference().estimate(train).theta
+    accuracy, exclusions = _providers(train)
+    coverage = DoubleCountCoverage().fit(train)
+    result = OSLGOptimizer(coverage, 3, sample_size=10, seed=2).run(
+        theta, accuracy, exclusions
+    )
+    assert result.snapshot_log is None
+    # Every sampled user assigned 3 items, each counted twice.
+    np.testing.assert_allclose(
+        result.snapshots.sum(axis=1), 6 * np.arange(1, 11)
+    )
+    np.testing.assert_array_equal(result.snapshots[-1], coverage.frequencies)

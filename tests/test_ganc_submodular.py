@@ -141,3 +141,22 @@ def test_locally_greedy_half_bound_across_random_instances():
         )
         _, optimal = brute_force_best_collection(n_users, n_items, n, theta, accuracy)
         assert greedy_value >= 0.5 * optimal - 1e-9
+
+
+def test_dynamic_coverage_value_padding_does_not_alias_real_items():
+    """-1 padding entries must count in their own bucket, not alias the last
+    item's frequency (regression: an array-indexed replay did exactly that)."""
+    theta = np.array([0.5, 0.5])
+    accuracy = {0: np.array([0.0, 0.0, 1.0]), 1: np.array([0.0, 0.0, 1.0])}
+    padded = dynamic_coverage_value(
+        {0: np.array([2]), 1: np.array([2, -1])}, theta, accuracy
+    )
+    # item 2 assigned twice (gains 1 + 1/sqrt(2)), the -1 sentinel once
+    # (gain 1, plus it reads accuracy[-1] == accuracy[2] — dict semantics).
+    expected = (
+        0.5 * 1.0 + 0.5 * 1.0            # user 0: acc + first assignment of item 2
+        + 0.5 * 2.0                       # user 1 accuracy: items 2 and -1 both read 1.0
+        + 0.5 / np.sqrt(2.0)              # second assignment of item 2
+        + 0.5 * 1.0                       # first assignment of the -1 bucket
+    )
+    assert padded == pytest.approx(expected)

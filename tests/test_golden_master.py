@@ -106,11 +106,58 @@ def generate_tiny_top5() -> bytes:
     return _tiny_pipeline_outputs()[1]
 
 
+def generate_oslg_tiny() -> bytes:
+    """One fixed tiny OSLG run: collection, sample, final coverage counts.
+
+    Pins the whole Algorithm 1 surface — KDE sampling, the incremental
+    sequential pass, delta-snapshot reconstruction and the blocked snapshot
+    assignment phase — at a scale small enough to regenerate in well under a
+    second.  Uses the Pop accuracy recommender, so no BLAS floats are
+    involved beyond the environment-gated numpy line.
+    """
+    import numpy as np
+
+    from repro.coverage.dynamic import DynamicCoverage
+    from repro.data.split import RatioSplitter
+    from repro.data.synthetic import make_dataset
+    from repro.ganc.oslg import OSLGOptimizer
+    from repro.preferences.generalized import GeneralizedPreference
+    from repro.recommenders.popularity import MostPopular
+
+    train = RatioSplitter(0.8, seed=SEED).split(
+        make_dataset("ml100k", scale=0.1, seed=SEED)
+    ).train
+    model = MostPopular().fit(train)
+    theta = GeneralizedPreference().estimate(train).theta
+    optimizer = OSLGOptimizer(
+        DynamicCoverage().fit(train), 5, sample_size=12, seed=SEED
+    )
+    result = optimizer.run(
+        theta,
+        lambda user: model.unit_scores(user, 5),
+        train.user_items,
+        accuracy_matrix=lambda users: model.unit_scores_batch(users, 5),
+        exclusion_pairs=train.user_items_batch,
+    )
+    final_counts = result.snapshot_log.counts_at(result.snapshot_log.n_steps - 1)
+    return _as_json_bytes(
+        {
+            "n_users": int(train.n_users),
+            "n_items": int(train.n_items),
+            "sampled_users": result.sampled_users.tolist(),
+            "top_n": result.top_n.items.tolist(),
+            "final_snapshot_counts": final_counts.tolist(),
+            "snapshot_totals": result.snapshots.sum(axis=1).tolist(),
+        }
+    )
+
+
 FIXTURES = {
     "table4_ml100k.json": generate_table4,
     "figure6_ml100k.json": generate_figure6,
     "ml100k_tiny_metrics.json": generate_tiny_metrics,
     "ml100k_tiny_top5.csv": generate_tiny_top5,
+    "oslg_tiny.json": generate_oslg_tiny,
 }
 
 ENVIRONMENT_FILE = "environment.json"
@@ -171,6 +218,10 @@ def test_ml100k_tiny_metrics_golden_master():
 
 def test_ml100k_tiny_top5_golden_master():
     _check("ml100k_tiny_top5.csv")
+
+
+def test_oslg_tiny_golden_master():
+    _check("oslg_tiny.json")
 
 
 def regenerate() -> None:

@@ -133,3 +133,32 @@ def test_section_seeds_inherit_spec_seed():
     spec = _full_spec()
     assert spec.resolved_seed(spec.ganc.seed) == 0
     assert spec.resolved_seed(7) == 7
+
+
+# --------------------------------------------------------------------------- #
+# GANC bandwidth field
+# --------------------------------------------------------------------------- #
+def test_ganc_spec_bandwidth_round_trips():
+    for bandwidth in ("scott", 0.25):
+        spec = GANCSpec(bandwidth=bandwidth)
+        rebuilt = GANCSpec.from_config(spec.to_config())
+        assert rebuilt.bandwidth == bandwidth
+
+
+def test_ganc_spec_rejects_bad_bandwidth():
+    with pytest.raises(ConfigurationError, match="bandwidth"):
+        GANCSpec(bandwidth="silvermann")
+    with pytest.raises(ConfigurationError, match="bandwidth"):
+        GANCSpec(bandwidth=-1.0)
+
+
+def test_ganc_spec_without_bandwidth_key_defaults():
+    """Spec files written before the field existed still load."""
+    spec = GANCSpec.from_config({"sample_size": 10})
+    assert spec.bandwidth == "silverman"
+
+
+def test_full_spec_json_round_trip_keeps_bandwidth():
+    spec = _full_spec()
+    spec = PipelineSpec.from_json(spec.to_json())
+    assert spec.ganc.bandwidth == "silverman"
