@@ -51,7 +51,10 @@ BENCHES: dict[str, tuple] = {
     "serving": (
         bench_serving,
         [],
-        ["--scale", "0.1", "--repeats", "1", "--lookups", "100"],
+        [
+            "--scale", "0.1", "--repeats", "1", "--lookups", "100",
+            "--clients", "4", "--requests-per-client", "25", "--min-load-speedup", "0",
+        ],
     ),
 }
 

@@ -90,7 +90,9 @@ from repro.parallel import (
     resolve_executor,
 )
 from repro.serving import (
+    AsyncRecommendationService,
     RecommendationStore,
+    build_async_service,
     compile_artifact,
     load_manifest,
 )
@@ -176,4 +178,6 @@ __all__ = [
     "RecommendationStore",
     "compile_artifact",
     "load_manifest",
+    "AsyncRecommendationService",
+    "build_async_service",
 ]

@@ -84,6 +84,26 @@ def _positive_int(option: str) -> Callable[[str], int]:
     return parse
 
 
+def _non_negative_int(option: str) -> Callable[[str], int]:
+    """Argparse ``type`` validating integer options where ``0`` is meaningful.
+
+    Same contract as :func:`_positive_int` but admits zero — e.g.
+    ``--coalesce-window-us 0`` means "flush on the next event-loop tick".
+    """
+
+    def parse(text: str) -> int:
+        """Parse one occurrence of the option, failing with the flag named."""
+        try:
+            value = int(text)
+        except ValueError:
+            raise ConfigurationError(f"{option} must be an integer, got {text!r}") from None
+        if value < 0:
+            raise ConfigurationError(f"{option} must be >= 0, got {value}")
+        return value
+
+    return parse
+
+
 def _positive_float(option: str) -> Callable[[str], float]:
     """Argparse ``type`` validating strictly positive float options.
 
@@ -454,14 +474,34 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Serve a compiled artifact over HTTP (with optional live fallback)."""
-    from repro.serving import serve
+    if not args.async_tier:
+        for flag, value in (
+            ("--workers", args.workers),
+            ("--coalesce-max", args.coalesce_max),
+            ("--coalesce-window-us", args.coalesce_window_us),
+        ):
+            if value is not None:
+                raise ConfigurationError(f"{flag} requires --async")
+        from repro.serving import serve
 
-    return serve(
+        return serve(
+            args.artifact,
+            pipeline=args.pipeline,
+            host=args.host,
+            port=args.port,
+            fallback_cache_size=args.fallback_cache_size,
+        )
+    from repro.serving import serve_async
+
+    return serve_async(
         args.artifact,
         pipeline=args.pipeline,
         host=args.host,
         port=args.port,
+        workers=1 if args.workers is None else args.workers,
         fallback_cache_size=args.fallback_cache_size,
+        coalesce_max=args.coalesce_max,
+        coalesce_window_us=args.coalesce_window_us,
     )
 
 
@@ -637,7 +677,9 @@ def build_parser() -> argparse.ArgumentParser:
     compile_cmd.set_defaults(handler=_cmd_compile)
 
     serve_cmd = subparsers.add_parser(
-        "serve", help="serve a compiled artifact over HTTP (stdlib http.server)"
+        "serve",
+        help="serve a compiled artifact over HTTP (stdlib http.server, "
+        "or the asyncio coalescing tier with --async)",
     )
     serve_cmd.add_argument(
         "--artifact", type=str, required=True,
@@ -655,6 +697,27 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument(
         "--fallback-cache-size", type=_positive_int("--fallback-cache-size"), default=2,
         help="distinct n values whose live recommend_all tables stay cached",
+    )
+    serve_cmd.add_argument(
+        "--async", dest="async_tier", action="store_true",
+        help="serve with the high-concurrency asyncio tier: keep-alive, "
+        "request coalescing into batched store lookups, POST /recommend/batch",
+    )
+    serve_cmd.add_argument(
+        "--workers", type=_positive_int("--workers"), default=None,
+        help="pre-forked worker processes sharing the listening socket, one "
+        "mmap store handle each (requires --async; default 1)",
+    )
+    serve_cmd.add_argument(
+        "--coalesce-max", type=_positive_int("--coalesce-max"), default=None,
+        help="flush a micro-batch at this many queued lookups "
+        "(requires --async; default 64)",
+    )
+    serve_cmd.add_argument(
+        "--coalesce-window-us", type=_non_negative_int("--coalesce-window-us"), default=None,
+        help="max microseconds a queued lookup waits before its batch is "
+        "flushed; 0 flushes on the next event-loop tick "
+        "(requires --async; default 500)",
     )
     serve_cmd.set_defaults(handler=_cmd_serve)
 

@@ -19,11 +19,17 @@ package is the online half:
     A stdlib ``http.server`` service (``repro serve``) exposing
     ``GET /recommend``, ``GET /healthz`` and ``GET /manifest``, with warm
     reload on ``SIGHUP``.
+:mod:`repro.serving.async_service`
+    The high-concurrency tier (``repro serve --async``): an asyncio
+    keep-alive server that coalesces in-flight ``/recommend`` requests
+    into batched store lookups, adds ``POST /recommend/batch``, and
+    pre-forks ``--workers K`` processes sharing one listening socket with
+    one mmap store handle each.
 
-Every lookup — artifact row or fallback — returns exactly the bytes
-``Pipeline.recommend_all`` produces for the same persisted pipeline
-(asserted in ``tests/test_serving.py`` for every registered recommender
-family).
+Every lookup — artifact row or fallback, either tier — returns exactly the
+bytes ``Pipeline.recommend_all`` produces for the same persisted pipeline
+(asserted in ``tests/test_serving.py`` / ``tests/test_serving_async.py``
+for every registered recommender family).
 """
 
 from repro.serving.artifact import (
@@ -33,6 +39,16 @@ from repro.serving.artifact import (
     load_manifest,
     serving_environment,
     spec_hash,
+)
+from repro.serving.async_service import (
+    DEFAULT_COALESCE_MAX,
+    DEFAULT_COALESCE_WINDOW_US,
+    AsyncRecommendationService,
+    AsyncServiceHandle,
+    CoalescingBatcher,
+    build_async_service,
+    serve_async,
+    start_async_in_thread,
 )
 from repro.serving.service import (
     RecommendationHandler,
@@ -47,6 +63,8 @@ from repro.serving.store import RecommendationStore, open_store
 __all__ = [
     "ARTIFACT_FORMAT_VERSION",
     "DEFAULT_SHARD_SIZE",
+    "DEFAULT_COALESCE_MAX",
+    "DEFAULT_COALESCE_WINDOW_US",
     "compile_artifact",
     "load_manifest",
     "serving_environment",
@@ -59,4 +77,10 @@ __all__ = [
     "start_in_thread",
     "install_sighup_reload",
     "serve",
+    "AsyncRecommendationService",
+    "AsyncServiceHandle",
+    "CoalescingBatcher",
+    "build_async_service",
+    "serve_async",
+    "start_async_in_thread",
 ]

@@ -2,9 +2,12 @@
 
 ``repro serve --artifact DIR [--pipeline DIR]`` stands this server up.  It
 is deliberately dependency-free (``http.server`` + ``json``): the store does
-O(1) memory-mapped row reads, so a threading server is enough to saturate
-the lookup path, and the whole service remains runnable in any environment
-that can import :mod:`repro`.
+O(1) memory-mapped row reads, so a threading server is enough for the repro
+round trip, and the whole service remains runnable in any environment that
+can import :mod:`repro`.  For sustained concurrent traffic, the asyncio
+tier in :mod:`repro.serving.async_service` (``repro serve --async``)
+coalesces in-flight requests into the batched store path; it shares this
+module's payload builders, so both tiers answer with byte-identical JSON.
 
 Endpoints
 ---------
@@ -30,9 +33,11 @@ artifact recompiled in place starts serving immediately.
 from __future__ import annotations
 
 import json
+import logging
 import signal
 import threading
 import time
+from math import isfinite
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any
@@ -44,17 +49,101 @@ from repro.exceptions import ReproError, ServingError
 from repro.pipeline.pipeline import Pipeline
 from repro.serving.store import RecommendationStore
 
+logger = logging.getLogger("repro.serving")
+
 
 def _jsonable_row(items: np.ndarray, scores: np.ndarray | None) -> tuple[list[int], list[float | None] | None]:
-    """Trim ``-1`` padding and convert NaN scores to ``null``-able floats."""
-    valid = items >= 0
-    out_items = [int(i) for i in items[valid]]
+    """Trim ``-1`` padding and convert non-finite scores to ``None``.
+
+    Runs on every ``/recommend`` response in both serving tiers.  One bulk
+    ``tolist()`` per array converts to Python scalars, then plain-``int``
+    comparisons trim the padding: for the short rows served here that beats
+    both per-element numpy scalar iteration and mask/fancy-index chains,
+    whose fixed per-call overhead exceeds the whole row.
+    """
+    item_row = items.tolist()
+    out_items = [item for item in item_row if item >= 0]
     if scores is None:
         return out_items, None
-    out_scores: list[float | None] = [
-        None if not np.isfinite(s) else float(s) for s in scores[valid]
+    out_scores = [
+        score if isfinite(score) else None
+        for item, score in zip(item_row, scores.tolist())
+        if item >= 0
     ]
     return out_items, out_scores
+
+
+def json_body(payload: dict[str, Any]) -> bytes:
+    """The canonical JSON response encoding shared by both serving tiers.
+
+    Both the legacy ``http.server`` tier and the asyncio tier emit exactly
+    these bytes, which is what makes the tiers' responses byte-comparable.
+    """
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+def recommend_body(payload: dict[str, Any]) -> bytes:
+    """:func:`json_body` specialised to the fixed ``/recommend`` payload.
+
+    Byte-for-byte identical to ``json_body(payload)`` for every payload
+    :func:`recommend_payload` can build — the keys are already in sorted
+    order, the values are ints, finite floats, ``None`` and clean strings,
+    and ``repr`` of a finite float is exactly what ``json.dumps`` emits.
+    Asserted against ``json_body`` in the test suite; runs for every
+    ``/recommend`` response in both tiers.
+    """
+    scores = payload["scores"]
+    if scores is None:
+        scores_text = "null"
+    else:
+        scores_text = f"[{', '.join('null' if s is None else repr(s) for s in scores)}]"
+    return (
+        f'{{"items": [{", ".join(map(str, payload["items"]))}], '
+        f'"n": {payload["n"]}, "scores": {scores_text}, '
+        f'"source": "{payload["source"]}", "user": {payload["user"]}}}\n'
+    ).encode("utf-8")
+
+
+def recommend_payload(
+    store: RecommendationStore,
+    user: int,
+    n: int | None,
+    items: np.ndarray,
+    scores: np.ndarray | None,
+    source: str,
+) -> dict[str, Any]:
+    """Build one ``/recommend`` response payload from a store lookup row."""
+    out_items, out_scores = _jsonable_row(items, scores)
+    return {
+        "user": user,
+        "n": store.n if n is None else n,
+        "items": out_items,
+        "scores": out_scores,
+        "source": source,
+    }
+
+
+def healthz_payload(
+    store: RecommendationStore,
+    *,
+    uptime_seconds: float,
+    reloads: int,
+    reload_failures: int,
+) -> dict[str, Any]:
+    """Build the ``/healthz`` payload fields common to both serving tiers."""
+    return {
+        "status": "ok",
+        "artifact": str(store.artifact_dir),
+        "algorithm": store.manifest.get("algorithm"),
+        "n": store.n,
+        "coverage": store.coverage,
+        "n_users_total": store.n_users_total,
+        "fallback": store.has_fallback,
+        "uptime_seconds": uptime_seconds,
+        "reloads": reloads,
+        "reload_failures": reload_failures,
+        "served": dict(store.stats),
+    }
 
 
 class RecommendationServer(ThreadingHTTPServer):
@@ -74,16 +163,18 @@ class RecommendationServer(ThreadingHTTPServer):
         self.verbose = verbose
         self.started = time.monotonic()
         self.reloads = 0
+        self.reload_failures = 0
 
     def reload(self) -> None:
         """Warm-reload the store (the SIGHUP hook); never raises."""
         try:
             self.store.reload()
             self.reloads += 1
-        except ReproError as exc:  # pragma: no cover - depends on disk state
+        except ReproError as exc:
             # A broken artifact mid-rewrite must not kill a serving process;
             # the old mapped shards keep serving until the next HUP.
-            print(f"repro serve: reload failed, keeping previous state: {exc}")
+            self.reload_failures += 1
+            logger.error("reload failed, keeping previous state: %s", exc)
 
 
 class RecommendationHandler(BaseHTTPRequestHandler):
@@ -91,6 +182,15 @@ class RecommendationHandler(BaseHTTPRequestHandler):
 
     server: RecommendationServer
     server_version = "repro-serve/1"
+    #: HTTP/1.1 keeps client connections alive between requests (every
+    #: response carries Content-Length), so closed-loop clients are not
+    #: charged a TCP handshake per lookup and load comparisons against the
+    #: asyncio tier measure the same transport.
+    protocol_version = "HTTP/1.1"
+    #: A keep-alive response is two socket writes (headers, then body);
+    #: without TCP_NODELAY the body write stalls ~40ms behind Nagle waiting
+    #: on the client's delayed ACK of the header segment.
+    disable_nagle_algorithm = True
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         """Suppress per-request logging unless the owning server is verbose."""
@@ -98,7 +198,9 @@ class RecommendationHandler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
     def _send_json(self, payload: dict[str, Any], status: int = 200) -> None:
-        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        self._send_body(json_body(payload), status)
+
+    def _send_body(self, body: bytes, status: int = 200) -> None:
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
@@ -137,32 +239,16 @@ class RecommendationHandler(BaseHTTPRequestHandler):
             return
         store = self.server.store
         items, scores, source = store.lookup(user, n)
-        out_items, out_scores = _jsonable_row(items, scores)
-        self._send_json(
-            {
-                "user": user,
-                "n": store.n if n is None else n,
-                "items": out_items,
-                "scores": out_scores,
-                "source": source,
-            }
-        )
+        self._send_body(recommend_body(recommend_payload(store, user, n, items, scores, source)))
 
     def _handle_healthz(self) -> None:
-        store = self.server.store
         self._send_json(
-            {
-                "status": "ok",
-                "artifact": str(store.artifact_dir),
-                "algorithm": store.manifest.get("algorithm"),
-                "n": store.n,
-                "coverage": store.coverage,
-                "n_users_total": store.n_users_total,
-                "fallback": store.has_fallback,
-                "uptime_seconds": round(time.monotonic() - self.server.started, 3),
-                "reloads": self.server.reloads,
-                "served": dict(store.stats),
-            }
+            healthz_payload(
+                self.server.store,
+                uptime_seconds=round(time.monotonic() - self.server.started, 3),
+                reloads=self.server.reloads,
+                reload_failures=self.server.reload_failures,
+            )
         )
 
 

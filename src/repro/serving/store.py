@@ -53,7 +53,16 @@ class _StoreState:
     under the owning store's lock.
     """
 
-    __slots__ = ("manifest", "pipeline", "shards", "fallback_tables")
+    __slots__ = (
+        "manifest",
+        "pipeline",
+        "shards",
+        "fallback_tables",
+        "artifact_n",
+        "coverage",
+        "n_items",
+        "prefix_consistent",
+    )
 
     def __init__(
         self,
@@ -65,6 +74,14 @@ class _StoreState:
         self.pipeline = pipeline
         self.fallback_tables: OrderedDict[int, np.ndarray] = OrderedDict()
         n = int(manifest["n"])
+        # Routing invariants, precomputed once per (re)load: `covers` runs
+        # on every request in the async tier, so it must not re-parse the
+        # manifest each time.
+        self.artifact_n = n
+        self.coverage = int(manifest["n_users"])
+        n_items = manifest.get("n_items")
+        self.n_items = None if n_items is None else int(n_items)
+        self.prefix_consistent = bool(manifest.get("prefix_consistent", False))
         self.shards: list[tuple[np.ndarray, np.ndarray]] = []
         for entry in manifest["shards"]:
             items = np.load(artifact_dir / entry["items"], mmap_mode="r")
@@ -154,12 +171,12 @@ class RecommendationStore:
     @property
     def n(self) -> int:
         """Top-N size the artifact was compiled for."""
-        return int(self.manifest["n"])
+        return self._state.artifact_n
 
     @property
     def coverage(self) -> int:
         """Number of users the artifact stores rows for (``[0, coverage)``)."""
-        return int(self.manifest["n_users"])
+        return self._state.coverage
 
     @property
     def n_users_total(self) -> int:
@@ -169,12 +186,44 @@ class RecommendationStore:
     @property
     def prefix_consistent(self) -> bool:
         """Whether top-``k`` for ``k < n`` may be served by slicing stored rows."""
-        return bool(self.manifest.get("prefix_consistent", False))
+        return self._state.prefix_consistent
 
     @property
     def has_fallback(self) -> bool:
         """Whether a live pipeline is attached for uncovered lookups."""
         return self._state.pipeline is not None
+
+    def covers(self, users: int | np.ndarray, n: int | None = None) -> bool:
+        """Whether every requested row is served straight from mapped shards.
+
+        This is the cheap routing predicate of the async serving tier: rows
+        the artifact covers can be coalesced into one batched lookup that is
+        guaranteed not to touch the (potentially slow) live fallback, while
+        anything else — uncovered users, an ``n`` the artifact cannot slice,
+        out-of-range values that :meth:`top_n` would reject — goes through
+        the individual path so one bad request cannot fail a whole batch.
+        """
+        state = self._state
+        artifact_n = state.artifact_n
+        if n is None:
+            n = artifact_n
+        elif type(n) is not int:
+            try:
+                n = int(n)
+            except (TypeError, ValueError):
+                return False
+        if n < 1:
+            return False
+        if state.n_items is not None and n > state.n_items:
+            return False
+        if n != artifact_n and not (n < artifact_n and state.prefix_consistent):
+            return False
+        if type(users) is int:  # the async tier's per-request hot path
+            return 0 <= users < state.coverage
+        user_block = np.atleast_1d(np.asarray(users, dtype=np.int64))
+        if user_block.size == 0:
+            return True
+        return bool(user_block.min() >= 0) and bool(user_block.max() < state.coverage)
 
     # ------------------------------------------------------------------ #
     # Artifact path
@@ -249,9 +298,43 @@ class RecommendationStore:
         """
         return self._lookup(users, n, want_scores=True)
 
+    def lookup_rows(
+        self, users: np.ndarray, n: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray | None, np.ndarray]:
+        """Batched lookup with *per-row* provenance for coalesced serving.
+
+        Unlike :meth:`lookup` — whose single ``source`` string and
+        all-or-nothing ``scores`` describe the batch as a whole — this
+        returns ``(items, scores, covered)`` where ``covered`` marks, row by
+        row, whether the answer came from the memory-mapped artifact.  A
+        serving tier that coalesces many independent requests into one
+        batched call uses the mask to rebuild each per-request response
+        (``source``, diagnostic scores) exactly as an individual
+        :meth:`lookup` would have produced it.
+
+        ``scores`` is ``None`` when no row came from the artifact; otherwise
+        it is a full block with the stored diagnostic scores in covered rows
+        and NaN elsewhere (fallback rows do not produce scores).
+        """
+        user_block = np.atleast_1d(np.asarray(users, dtype=np.int64))
+        return self._lookup_block(user_block, n, want_scores=True)
+
     def _lookup(
         self, users: int | np.ndarray, n: int | None, *, want_scores: bool
     ) -> tuple[np.ndarray, np.ndarray | None, str]:
+        single = np.isscalar(users) or (isinstance(users, np.ndarray) and users.ndim == 0)
+        user_block = np.atleast_1d(np.asarray(users, dtype=np.int64))
+        items, scores, covered = self._lookup_block(user_block, n, want_scores=want_scores)
+        if not covered.all():
+            scores = None  # live fallback does not produce diagnostic scores
+        source = "artifact" if covered.all() else ("live" if not covered.any() else "mixed")
+        if single:
+            return items[0], None if scores is None else scores[0], source
+        return items, scores, source
+
+    def _lookup_block(
+        self, user_block: np.ndarray, n: int | None, *, want_scores: bool
+    ) -> tuple[np.ndarray, np.ndarray | None, np.ndarray]:
         state = self._state  # one snapshot for the whole lookup
         manifest = state.manifest
         artifact_n = int(manifest["n"])
@@ -270,8 +353,6 @@ class RecommendationStore:
             raise ConfigurationError(
                 f"n={n} exceeds the compiled item universe ({int(n_items)} items)"
             )
-        single = np.isscalar(users) or (isinstance(users, np.ndarray) and users.ndim == 0)
-        user_block = np.atleast_1d(np.asarray(users, dtype=np.int64))
         if user_block.size and (user_block.min() < 0 or user_block.max() >= n_users_total):
             out_of_range = int(user_block.min()) if user_block.min() < 0 else int(user_block.max())
             raise ServingError(
@@ -299,16 +380,12 @@ class RecommendationStore:
         if not covered.all():
             table = self._fallback_table(state, n)
             items[~covered] = table[user_block[~covered]]
-            scores = None  # live fallback does not produce diagnostic scores
 
         with self._lock:
             self.stats["artifact_rows"] += int(covered.sum())
             self.stats["fallback_rows"] += int((~covered).sum())
 
-        source = "artifact" if covered.all() else ("live" if not covered.any() else "mixed")
-        if single:
-            return items[0], None if scores is None else scores[0], source
-        return items, scores, source
+        return items, scores, covered
 
     def __repr__(self) -> str:
         return (

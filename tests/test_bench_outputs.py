@@ -51,6 +51,23 @@ def test_ganc_document_records_the_issue_gates():
     assert speedups[f"{headline}_oslg_end_to_end"] >= 3.0
 
 
+def test_serving_document_records_the_load_gate():
+    """The committed serving numbers must clear the ISSUE's load gates."""
+    payload = bench_json.load_and_validate(OUTPUT_DIR / "BENCH_serving.json")
+    config = payload["config"]
+    metrics = payload["metrics"]
+    assert payload["equal"] is True
+    assert config["clients"] >= 16
+    for key in ("rps", "p50_us", "p95_us", "p99_us"):
+        assert metrics[key] > 0
+    for tier in ("legacy", "async", "coalesced"):
+        assert metrics[f"{tier}_rps"] > 0
+        assert metrics[f"{tier}_p99_us"] >= metrics[f"{tier}_p50_us"]
+    # Headline metrics are the coalesced tier's.
+    assert metrics["rps"] == metrics["coalesced_rps"]
+    assert payload["speedups"]["coalesced_vs_legacy_rps"] >= 3.0
+
+
 def test_validator_rejects_malformed_payloads():
     assert bench_json.validate_payload([]) != []
     assert bench_json.validate_payload({"schema": 0}) != []

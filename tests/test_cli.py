@@ -366,3 +366,21 @@ def test_cli_run_ganc_overrides_change_the_run(tmp_path, capsys):
         ]
     ) == 0
     assert base_csv.read_bytes() == same_csv.read_bytes()
+
+
+def test_cli_serve_async_only_flags_require_async(tmp_path):
+    """--workers/--coalesce-* configure the async tier; reject them without it."""
+    for flags in (
+        ["--workers", "2"],
+        ["--coalesce-max", "8"],
+        ["--coalesce-window-us", "0"],
+    ):
+        with pytest.raises(ConfigurationError, match="requires --async"):
+            main(["serve", "--artifact", str(tmp_path), *flags])
+
+
+def test_cli_serve_rejects_nonpositive_worker_counts(tmp_path):
+    with pytest.raises(ConfigurationError, match="--workers must be >= 1"):
+        main(["serve", "--artifact", str(tmp_path), "--async", "--workers", "0"])
+    with pytest.raises(ConfigurationError, match="--coalesce-max must be >= 1"):
+        main(["serve", "--artifact", str(tmp_path), "--async", "--coalesce-max", "-1"])

@@ -9,7 +9,9 @@ for GANC pipelines.
 
 from __future__ import annotations
 
+import http.client
 import json
+import logging
 import urllib.error
 import urllib.request
 from pathlib import Path
@@ -37,6 +39,7 @@ from repro.serving import (
     spec_hash,
     start_in_thread,
 )
+from repro.serving.service import json_body, recommend_body
 
 N = 5
 
@@ -408,6 +411,7 @@ def test_http_healthz_and_manifest(live_server, pop_artifact_dir):
     assert health["status"] == "ok"
     assert health["n"] == N
     assert health["reloads"] == 0
+    assert health["reload_failures"] == 0
     assert set(health["served"]) == {"artifact_rows", "fallback_rows", "fallback_builds"}
     assert _get_json(f"{base}/manifest") == load_manifest(pop_artifact_dir)
 
@@ -434,3 +438,89 @@ def test_warm_reload_keeps_serving(live_server):
     after = _get_json(f"{base}/recommend?user=1")
     assert before["items"] == after["items"]
     assert _get_json(f"{base}/healthz")["reloads"] == 1
+
+
+def test_failed_reload_logs_and_counts_without_dropping_service(
+    small_split, tmp_path, caplog
+):
+    """The SIGHUP hook survives a broken artifact: logged, counted, serving."""
+    pipeline = Pipeline(_bare_spec("pop")).fit(small_split)
+    pipeline.save(tmp_path / "pipe")
+    compile_artifact(tmp_path / "pipe", tmp_path / "art", shard_size=16)
+    server = build_server(tmp_path / "art", pipeline=tmp_path / "pipe", port=0)
+    start_in_thread(server)
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+    try:
+        before = _get_json(f"{base}/recommend?user=1")
+        # Recompile in place from a different spec: reload must reject it.
+        other = Pipeline(_bare_spec("rand")).fit(small_split)
+        compile_artifact(other, tmp_path / "art", shard_size=16)
+        with caplog.at_level(logging.ERROR, logger="repro.serving"):
+            server.reload()
+        assert server.reload_failures == 1 and server.reloads == 0
+        assert any("reload failed" in record.message for record in caplog.records)
+        health = _get_json(f"{base}/healthz")
+        assert health["reload_failures"] == 1 and health["reloads"] == 0
+        assert _get_json(f"{base}/recommend?user=1") == before
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_legacy_keep_alive_reuses_one_connection(live_server):
+    """HTTP/1.1 keep-alive: consecutive requests share one TCP connection."""
+    server, _ = live_server
+    host, port = server.server_address[:2]
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        conn.request("GET", f"/recommend?user=0&n={N}")
+        first = conn.getresponse()
+        assert first.status == 200
+        first.read()
+        sock = conn.sock
+        assert sock is not None
+        conn.request("GET", "/healthz")
+        second = conn.getresponse()
+        assert second.status == 200
+        second.read()
+        assert conn.sock is sock  # same TCP connection served both
+    finally:
+        conn.close()
+
+
+# --------------------------------------------------------------------------- #
+# Payload encoding and routing predicates shared with the async tier
+# --------------------------------------------------------------------------- #
+def test_recommend_body_is_byte_identical_to_json_body():
+    """The hand-rolled /recommend encoder must track json.dumps exactly."""
+    payloads = [
+        {"user": 0, "n": 5, "items": [3, 1, 2], "scores": [1.5, 0.25, -0.0],
+         "source": "artifact"},
+        {"user": 10**12, "n": 1, "items": [], "scores": [], "source": "artifact"},
+        {"user": 7, "n": 3, "items": [1, 2, 9], "scores": None, "source": "live"},
+        {"user": -1, "n": 2, "items": [0], "scores": [None], "source": "live"},
+        {"user": 3, "n": 4, "items": [5, 6],
+         "scores": [1e-07, 123456789.123456789], "source": "artifact"},
+        {"user": 2, "n": 2, "items": [8, 9], "scores": [1e16, 3.0], "source": "mixed"},
+    ]
+    for payload in payloads:
+        assert recommend_body(payload) == json_body(payload), payload
+
+
+def test_covers_routing_predicate(small_split, pop_pipeline_dir, pop_artifact_dir):
+    """covers() approves exactly the lookups the mapped shards can answer."""
+    store = RecommendationStore(pop_artifact_dir, pipeline=pop_pipeline_dir)
+    last = store.coverage - 1
+    assert store.covers(0, N) and store.covers(last, N)
+    assert store.covers(0)  # n defaults to the artifact's n
+    assert store.covers(0, 3)  # prefix slice of a consistent artifact
+    assert store.covers(np.array([0, last]), N)
+    assert store.covers(np.array([], dtype=np.int64), N)
+    assert not store.covers(-1, N)
+    assert not store.covers(store.coverage, N)
+    assert not store.covers(0, 0)
+    assert not store.covers(0, N + 1)  # live fallback territory
+    assert not store.covers(0, small_split.train.n_items + 1)
+    assert not store.covers(0, "not-an-n")
+    assert not store.covers(np.array([0, store.coverage]), N)
