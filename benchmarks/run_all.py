@@ -28,6 +28,7 @@ import bench_batch_scoring
 import bench_ganc
 import bench_parallel_scaling
 import bench_serving
+import bench_simulate
 from bench_json import OUTPUT_DIR, load_and_validate
 
 #: name -> (module, full-scale argv, smoke argv)
@@ -54,6 +55,14 @@ BENCHES: dict[str, tuple] = {
         [
             "--scale", "0.1", "--repeats", "1", "--lookups", "100",
             "--clients", "4", "--requests-per-client", "25", "--min-load-speedup", "0",
+        ],
+    ),
+    "simulate": (
+        bench_simulate,
+        [],
+        [
+            "--scale", "0.05", "--events", "400", "--window", "100",
+            "--online-events", "120", "--repeats", "1",
         ],
     ),
 }

@@ -1,0 +1,92 @@
+"""Simulation quickstart: online GANC feedback under a cold-start wave.
+
+Runs in a few seconds on a laptop:
+
+    python examples/simulation_quickstart.py
+
+Fits a small GANC pipeline with *dynamic* coverage, replays a seeded
+``coldstart`` scenario against it with position-biased feedback in the
+loop, and prints how coverage, novelty and accuracy drift window by
+window.  ``verify=True`` asserts the online invariant at every window
+boundary: the delta-updated coverage state must equal a from-scratch
+recompute, bitwise.  The same run is reproducible from the CLI::
+
+    python -m repro simulate --source pipeline --pipeline <saved dir> \\
+        --scenario coldstart --events 400 --window 100 --verify
+"""
+
+from __future__ import annotations
+
+from repro.pipeline import Pipeline, ganc_spec
+from repro.simulate import PipelineSource, SimulationConfig, run_simulation
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    # 1. A GANC(Pop, θG, Dyn) pipeline on a small ML-100K-shaped surrogate.
+    #    Dynamic coverage is the point: its score c(i) = 1/sqrt(f_i + 1)
+    #    changes as consumed items accumulate, so each window of traffic
+    #    sees a different optimizer than the last.
+    spec = ganc_spec(
+        dataset="ml100k",
+        arec="pop",
+        theta="thetaG",
+        coverage="dyn",
+        n=10,
+        sample_size=100,
+        scale=0.3,
+        seed=0,
+    )
+    pipeline = Pipeline(spec).fit()
+    source = PipelineSource(pipeline)
+    print(f"source online (feedback reaches the optimizer): {source.online}")
+
+    # 2. Replay a cold-start wave: a burst of first-time users arriving
+    #    mid-run, the regime where static top-N sets go stale fastest.
+    config = SimulationConfig(
+        scenario="coldstart",
+        n_events=400,
+        n=10,
+        feedback="position-biased",
+        window=100,
+        seed=7,
+        verify=True,
+    )
+    result = run_simulation(source, config)
+
+    # 3. Windowed drift.  Coverage climbs as feedback spreads consumption
+    #    across the item space; precision/EPC come from the pipeline's own
+    #    held-out split.
+    rows = [
+        [
+            window["index"],
+            window["events"],
+            window["consumed"],
+            f"{window['window_coverage']:.4f}",
+            f"{window['cumulative_coverage']:.4f}",
+            f"{window['cumulative_gini']:.4f}",
+            f"{window['precision']:.3f}",
+            f"{window['epc']:.3f}",
+        ]
+        for window in result.report["windows"]
+    ]
+    print()
+    print(
+        format_table(
+            ["window", "events", "consumed", "w-cov", "cum-cov", "gini", "prec", "epc"],
+            rows,
+        )
+    )
+
+    totals = result.report["totals"]
+    print()
+    print(
+        f"{totals['events']} events ({totals['cold_arrivals']} cold arrivals), "
+        f"{totals['consumed']} items consumed, "
+        f"cumulative coverage {totals['cumulative_coverage']:.4f}"
+    )
+    print("online invariant verified at every window boundary")
+
+
+if __name__ == "__main__":
+    main()

@@ -100,6 +100,47 @@ class CoverageState:
         # index twice writes the same value twice — no dedup needed.
         self._scores[items] = 1.0 / np.sqrt(self._counts[items] + 1.0)
 
+    def apply_batch(self, batches: Iterable[np.ndarray]) -> None:
+        """Record many assignments at once; bit-identical to looped :meth:`apply`.
+
+        ``batches`` is a sequence of per-step assigned item arrays (for the
+        traffic simulator: the consumed items of every event in a window).
+        All counts are bumped first — each occurrence adds exactly ``1.0``,
+        and float64 addition of small integers is exact, so the final counts
+        equal the looped result bit for bit — then each touched score entry
+        is recomputed once from its final count, which is also exactly the
+        value the last looped ``apply`` would have written.
+        """
+        arrays = [np.asarray(items, dtype=np.int64) for items in batches]
+        arrays = [items for items in arrays if items.size]
+        if not arrays:
+            return
+        touched = np.concatenate(arrays)
+        np.add.at(self._counts, touched, 1.0)
+        self._scores[touched] = 1.0 / np.sqrt(self._counts[touched] + 1.0)
+
+    def revert(self, items: np.ndarray) -> None:
+        """Undo one :meth:`apply`: drop ``items``' counts, refresh their scores.
+
+        The inverse the simulator's windowed what-if checks need: reverting
+        exactly the items a previous ``apply`` recorded restores counts *and*
+        scores bit-identically (each occurrence subtracts the exact ``1.0``
+        it added, and the score is recomputed with the same expression).
+        Reverting items that were never applied would drive a count negative;
+        that is rejected with the state left unchanged.
+        """
+        items = np.asarray(items, dtype=np.int64)
+        if not items.size:
+            return
+        np.subtract.at(self._counts, items, 1.0)
+        if self._counts[items].min() < 0:
+            np.add.at(self._counts, items, 1.0)  # restore before failing
+            raise ConfigurationError(
+                "revert would drive an assignment count negative; the items "
+                "do not match a previously applied assignment"
+            )
+        self._scores[items] = 1.0 / np.sqrt(self._counts[items] + 1.0)
+
     def reset(self) -> None:
         """Clear all counts; every score returns to ``1 / sqrt(1) = 1``."""
         self._counts.fill(0.0)

@@ -47,3 +47,13 @@ class ServingError(ReproError):
     fallback pipeline is attached, and user indices outside the compiled
     pipeline's universe.
     """
+
+
+class SimulationError(ReproError):
+    """Raised when a traffic simulation cannot run or violates an invariant.
+
+    Covers recommendation sources that cannot answer a trace's events and —
+    most importantly — failures of the online invariant: the delta-updated
+    coverage state diverging from a from-scratch recompute over the consumed
+    event history.
+    """

@@ -219,6 +219,11 @@ class GANC:
         coverage, and the snapshot phase of OSLG — runs through the batched
         providers, i.e. as blocked matrix operations over
         ``config.block_size`` users at a time.
+
+        Not safe for concurrent calls on the same instance when coverage is
+        dynamic: the sequential optimizers reset and mutate the shared
+        coverage state in place (callers that serve concurrently, like the
+        artifact store's fallback path, serialize their builds).
         """
         self._check_fitted()
         assert self._train is not None

@@ -56,6 +56,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError, ReproError, ServingError
 from repro.pipeline.pipeline import Pipeline
+from repro.serving.metrics import METRICS_CONTENT_TYPE, ServingMetrics
 from repro.serving.service import healthz_payload, json_body, recommend_body, recommend_payload
 from repro.serving.store import RecommendationStore
 
@@ -88,6 +89,15 @@ class _HTTPError(Exception):
         super().__init__(message)
         self.status = status
         self.message = message
+
+
+class _TextPayload:
+    """A non-JSON response body (the ``/metrics`` exposition text)."""
+
+    __slots__ = ("body",)
+
+    def __init__(self, body: bytes) -> None:
+        self.body = body
 
 
 class CoalescingBatcher:
@@ -231,6 +241,7 @@ class AsyncRecommendationService:
         self.coalescing: dict[str, int] = {
             "batches": 0, "batched_rows": 0, "largest_batch": 0, "single_rows": 0,
         }
+        self.metrics = ServingMetrics()
         self._batcher = CoalescingBatcher(
             store, self.coalescing, max_batch=coalesce_max, window_us=coalesce_window_us
         )
@@ -271,13 +282,23 @@ class AsyncRecommendationService:
             self.reload_failures += 1
             logger.error("reload failed, keeping previous state: %s", exc)
 
+    #: /metrics endpoint labels (anything else counts as "other").
+    _ENDPOINTS = {
+        "/recommend": "recommend",
+        "/recommend/batch": "recommend_batch",
+        "/healthz": "healthz",
+        "/manifest": "manifest",
+        "/metrics": "metrics",
+    }
+
     async def _respond(
         self, method: str, target: str, body: bytes
-    ) -> tuple[int, dict[str, Any] | bytes]:
+    ) -> tuple[int, dict[str, Any] | bytes | "_TextPayload"]:
         """Route one request; returns (status, JSON payload or encoded body)."""
+        parsed = urlsplit(target)
+        path = parsed.path
+        start = time.perf_counter()
         try:
-            parsed = urlsplit(target)
-            path = parsed.path
             if path == "/recommend":
                 self._require_method(method, "GET", path)
                 return 200, await self._recommend(parsed.query)
@@ -290,6 +311,9 @@ class AsyncRecommendationService:
             if path == "/manifest":
                 self._require_method(method, "GET", path)
                 return 200, self.store.manifest
+            if path == "/metrics":
+                self._require_method(method, "GET", path)
+                return 200, self._metrics()
             raise _HTTPError(404, f"unknown path {path!r}")
         except _HTTPError as exc:
             return exc.status, {"error": exc.message}
@@ -297,6 +321,10 @@ class AsyncRecommendationService:
             return 404, {"error": str(exc)}
         except ReproError as exc:
             return 400, {"error": str(exc)}
+        finally:
+            self.metrics.observe(
+                self._ENDPOINTS.get(path, "other"), time.perf_counter() - start
+            )
 
     @staticmethod
     def _require_method(method: str, expected: str, path: str) -> None:
@@ -386,6 +414,17 @@ class AsyncRecommendationService:
         payload["tier"] = "async"
         payload["coalescing"] = dict(self.coalescing)
         return payload
+
+    def _metrics(self) -> "_TextPayload":
+        text = self.metrics.render(
+            store_stats=self.store.stats,
+            reloads=self.reloads,
+            reload_failures=self.reload_failures,
+            extra_counters={
+                f"coalesce_{name}": value for name, value in self.coalescing.items()
+            },
+        )
+        return _TextPayload(text.encode("utf-8"))
 
 
 class _HttpProtocol(asyncio.Protocol):
@@ -514,16 +553,18 @@ class _HttpProtocol(asyncio.Protocol):
         store = self.service.store
         if not store.covers(user, n):
             return False
+        start = time.perf_counter()
         future = self.service._batcher.submit(user, store.n if n is None else n)
         self.tail = future
-        future.add_done_callback(self._fast_callback(user, n))
+        future.add_done_callback(self._fast_callback(user, n, start))
         return True
 
-    def _fast_callback(self, user: int, n: int | None):
+    def _fast_callback(self, user: int, n: int | None, start: float):
         """Build the done-callback that writes one fast-path response."""
 
         def finish(future: asyncio.Future) -> None:
             """Encode the resolved lookup row and write it to the transport."""
+            self.service.metrics.observe("recommend", time.perf_counter() - start)
             transport = self.transport
             if transport is None or transport.is_closing():
                 future.exception()  # consume; the peer is gone
@@ -659,14 +700,21 @@ def _keep_alive(version: str, headers: dict[str, str]) -> bool:
 _HEAD_200_KEEP_ALIVE = b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: "
 
 
-def _response_bytes(status: int, payload: dict[str, Any] | bytes, *, keep_alive: bool) -> bytes:
-    body = payload if type(payload) is bytes else json_body(payload)
-    if status == 200 and keep_alive:  # the hot path: one prebuilt head
-        return b"%s%d\r\n\r\n%s" % (_HEAD_200_KEEP_ALIVE, len(body), body)
+def _response_bytes(
+    status: int, payload: dict[str, Any] | bytes | _TextPayload, *, keep_alive: bool
+) -> bytes:
+    if type(payload) is _TextPayload:
+        body = payload.body
+        content_type = METRICS_CONTENT_TYPE
+    else:
+        body = payload if type(payload) is bytes else json_body(payload)
+        content_type = "application/json"
+        if status == 200 and keep_alive:  # the hot path: one prebuilt head
+            return b"%s%d\r\n\r\n%s" % (_HEAD_200_KEEP_ALIVE, len(body), body)
     reason = _REASONS.get(status, "Error")
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
-        "Content-Type: application/json\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
     )
     if not keep_alive:

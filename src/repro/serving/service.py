@@ -22,6 +22,10 @@ Endpoints
     vs. the fallback pipeline, and the number of warm reloads.
 ``GET /manifest``
     The artifact's ``manifest.json`` verbatim.
+``GET /metrics``
+    Prometheus exposition text: per-endpoint request counters, a
+    fixed-bucket request-latency histogram, store row provenance and
+    reload counters (:mod:`repro.serving.metrics`).
 
 Warm reload
 -----------
@@ -47,6 +51,7 @@ import numpy as np
 
 from repro.exceptions import ReproError, ServingError
 from repro.pipeline.pipeline import Pipeline
+from repro.serving.metrics import METRICS_CONTENT_TYPE, ServingMetrics
 from repro.serving.store import RecommendationStore
 
 logger = logging.getLogger("repro.serving")
@@ -164,6 +169,7 @@ class RecommendationServer(ThreadingHTTPServer):
         self.started = time.monotonic()
         self.reloads = 0
         self.reload_failures = 0
+        self.metrics = ServingMetrics()
 
     def reload(self) -> None:
         """Warm-reload the store (the SIGHUP hook); never raises."""
@@ -200,9 +206,14 @@ class RecommendationHandler(BaseHTTPRequestHandler):
     def _send_json(self, payload: dict[str, Any], status: int = 200) -> None:
         self._send_body(json_body(payload), status)
 
-    def _send_body(self, body: bytes, status: int = 200) -> None:
+    def _send_body(
+        self,
+        body: bytes,
+        status: int = 200,
+        content_type: str = "application/json",
+    ) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -210,9 +221,18 @@ class RecommendationHandler(BaseHTTPRequestHandler):
     def _error(self, message: str, status: int) -> None:
         self._send_json({"error": message}, status=status)
 
+    #: /metrics endpoint labels (anything else counts as "other").
+    _ENDPOINTS = {
+        "/recommend": "recommend",
+        "/healthz": "healthz",
+        "/manifest": "manifest",
+        "/metrics": "metrics",
+    }
+
     def do_GET(self) -> None:  # noqa: N802 - http.server naming convention
         """Dispatch a GET request to the matching endpoint."""
         parsed = urlsplit(self.path)
+        start = time.perf_counter()
         try:
             if parsed.path == "/recommend":
                 self._handle_recommend(parse_qs(parsed.query))
@@ -220,12 +240,19 @@ class RecommendationHandler(BaseHTTPRequestHandler):
                 self._handle_healthz()
             elif parsed.path == "/manifest":
                 self._send_json(self.server.store.manifest)
+            elif parsed.path == "/metrics":
+                self._handle_metrics()
             else:
                 self._error(f"unknown path {parsed.path!r}", 404)
         except ServingError as exc:
             self._error(str(exc), 404)
         except ReproError as exc:
             self._error(str(exc), 400)
+        finally:
+            self.server.metrics.observe(
+                self._ENDPOINTS.get(parsed.path, "other"),
+                time.perf_counter() - start,
+            )
 
     def _handle_recommend(self, query: dict[str, list[str]]) -> None:
         if "user" not in query:
@@ -250,6 +277,14 @@ class RecommendationHandler(BaseHTTPRequestHandler):
                 reload_failures=self.server.reload_failures,
             )
         )
+
+    def _handle_metrics(self) -> None:
+        text = self.server.metrics.render(
+            store_stats=self.server.store.stats,
+            reloads=self.server.reloads,
+            reload_failures=self.server.reload_failures,
+        )
+        self._send_body(text.encode("utf-8"), content_type=METRICS_CONTENT_TYPE)
 
 
 def build_server(

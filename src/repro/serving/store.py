@@ -126,6 +126,7 @@ class RecommendationStore:
         self.artifact_dir = Path(artifact_dir)
         self._fallback_cache_size = int(fallback_cache_size)
         self._lock = threading.Lock()
+        self._build_lock = threading.Lock()
         self._pipeline_source = pipeline
         #: Cumulative serving counters (survive warm reloads).
         self.stats: dict[str, int] = {
@@ -259,16 +260,25 @@ class RecommendationStore:
             if table is not None:
                 state.fallback_tables.move_to_end(n)
                 return table
-        # recommend_all is executed outside the lock deliberately: it can take
-        # seconds, and concurrent different-n requests should not serialize.
-        # A duplicated build for the same n is wasted work, not wrong results.
-        table = state.pipeline.recommend_all(n).items
-        with self._lock:
-            self.stats["fallback_builds"] += 1
-            state.fallback_tables[n] = table
-            state.fallback_tables.move_to_end(n)
-            while len(state.fallback_tables) > self._fallback_cache_size:
-                state.fallback_tables.popitem(last=False)
+        # Builds run under their own lock, not self._lock, so a slow
+        # recommend_all never stalls artifact lookups.  They MUST serialize
+        # against each other, though: recommend_all on a dynamic-coverage
+        # GANC pipeline resets and mutates shared optimizer state, so
+        # overlapping builds (even for different n) corrupt each other's
+        # tables rather than merely duplicating work.
+        with self._build_lock:
+            with self._lock:
+                table = state.fallback_tables.get(n)
+                if table is not None:
+                    state.fallback_tables.move_to_end(n)
+                    return table
+            table = state.pipeline.recommend_all(n).items
+            with self._lock:
+                self.stats["fallback_builds"] += 1
+                state.fallback_tables[n] = table
+                state.fallback_tables.move_to_end(n)
+                while len(state.fallback_tables) > self._fallback_cache_size:
+                    state.fallback_tables.popitem(last=False)
         return table
 
     # ------------------------------------------------------------------ #

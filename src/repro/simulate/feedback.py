@@ -1,0 +1,184 @@
+"""Feedback models: which recommended items an arriving user consumes.
+
+The simulator's online loop is *recommend → consume → update coverage*; the
+consume step is where behavioural assumptions live.  Three models cover the
+scenarios the paper's coverage discussion motivates:
+
+* :class:`AcceptAll` — every recommended slot is consumed; the upper bound
+  where the assignment the optimizer planned is exactly what happens.
+* :class:`PositionBiased` — the classic cascade-style click model: slot ``k``
+  is consumed with probability ``attraction * decay**k``, so popular head
+  placements get most of the feedback.  This is the model that reproduces
+  popularity-bias feedback loops.
+* :class:`ThresholdOnScore` — consume only the items whose stored serving
+  score clears a fraction of the row's best score; a proxy for a discerning
+  user.  When the source provides no scores the top slot alone is consumed.
+
+Determinism contract: a model may only draw randomness from the ``rng`` it is
+handed, with a draw pattern that depends on the *event* (its item row) alone —
+never on wall clock, global state, or how events were sharded.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+#: Names accepted by :func:`create_feedback` / the ``--feedback`` CLI flag.
+FEEDBACK_MODELS = ("accept-all", "position-biased", "threshold")
+
+
+def _valid_row(items: np.ndarray) -> np.ndarray:
+    """Strip the ``-1`` padding every top-N row in the library may carry."""
+    items = np.asarray(items, dtype=np.int64)
+    return items[items >= 0]
+
+
+class FeedbackModel(ABC):
+    """Maps one event's recommended row to the subset the user consumes."""
+
+    #: registry name (one of :data:`FEEDBACK_MODELS`)
+    name: str = "abstract"
+
+    @abstractmethod
+    def consume(
+        self,
+        items: np.ndarray,
+        scores: np.ndarray | None,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Consumed items in rank order (a subset of the valid ``items``)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class AcceptAll(FeedbackModel):
+    """Every valid recommended item is consumed (no randomness drawn)."""
+
+    name = "accept-all"
+
+    def consume(
+        self,
+        items: np.ndarray,
+        scores: np.ndarray | None,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """All valid (non-padding) items of the row."""
+        del scores, rng
+        return _valid_row(items)
+
+
+class PositionBiased(FeedbackModel):
+    """Rank-decayed click probabilities: ``P(consume slot k) = a * d**k``.
+
+    Parameters
+    ----------
+    attraction:
+        Probability of consuming the top slot (``a``), in ``(0, 1]``.
+    decay:
+        Multiplicative decay per rank position (``d``), in ``(0, 1]``.
+    """
+
+    name = "position-biased"
+
+    def __init__(self, attraction: float = 0.7, decay: float = 0.85) -> None:
+        if not 0.0 < attraction <= 1.0:
+            raise ConfigurationError(
+                f"attraction must be in (0, 1], got {attraction}"
+            )
+        if not 0.0 < decay <= 1.0:
+            raise ConfigurationError(f"decay must be in (0, 1], got {decay}")
+        self.attraction = float(attraction)
+        self.decay = float(decay)
+
+    def consume(
+        self,
+        items: np.ndarray,
+        scores: np.ndarray | None,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """One Bernoulli draw per slot with rank-decayed acceptance."""
+        del scores
+        valid = _valid_row(items)
+        if valid.size == 0:
+            return valid
+        ranks = np.arange(valid.size, dtype=np.float64)
+        probabilities = self.attraction * self.decay**ranks
+        draws = rng.random(valid.size)
+        return valid[draws < probabilities]
+
+    def __repr__(self) -> str:
+        return f"PositionBiased(attraction={self.attraction}, decay={self.decay})"
+
+
+class ThresholdOnScore(FeedbackModel):
+    """Consume items scoring at least ``fraction`` of the row's best score.
+
+    Rows without usable scores (source served no diagnostics, or every score
+    is NaN) degrade to consuming the top slot only.  No randomness is drawn.
+    """
+
+    name = "threshold"
+
+    def __init__(self, fraction: float = 0.8) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigurationError(f"fraction must be in (0, 1], got {fraction}")
+        self.fraction = float(fraction)
+
+    def consume(
+        self,
+        items: np.ndarray,
+        scores: np.ndarray | None,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Items whose score clears the fractional threshold."""
+        del rng
+        items = np.asarray(items, dtype=np.int64)
+        valid_mask = items >= 0
+        valid = items[valid_mask]
+        if valid.size == 0:
+            return valid
+        if scores is None:
+            return valid[:1]
+        scores = np.asarray(scores, dtype=np.float64)[valid_mask]
+        finite = np.isfinite(scores)
+        if not finite.any():
+            return valid[:1]
+        best = float(scores[finite].max())
+        keep = finite & (scores >= self.fraction * best)
+        return valid[keep]
+
+    def __repr__(self) -> str:
+        return f"ThresholdOnScore(fraction={self.fraction})"
+
+
+_FEEDBACK_CLASSES: dict[str, type[FeedbackModel]] = {
+    AcceptAll.name: AcceptAll,
+    PositionBiased.name: PositionBiased,
+    ThresholdOnScore.name: ThresholdOnScore,
+}
+
+
+def create_feedback(name: str, **params: Any) -> FeedbackModel:
+    """Instantiate a feedback model by registry name.
+
+    ``params`` are forwarded to the model constructor (e.g. ``attraction=``
+    for ``position-biased``); unknown names raise a
+    :class:`~repro.exceptions.ConfigurationError` listing the registry.
+    """
+    if not isinstance(name, str) or name.strip().lower() not in _FEEDBACK_CLASSES:
+        raise ConfigurationError(
+            f"unknown feedback model {name!r}; available: {list(FEEDBACK_MODELS)}"
+        )
+    cls = _FEEDBACK_CLASSES[name.strip().lower()]
+    try:
+        return cls(**params)
+    except TypeError as error:
+        raise ConfigurationError(
+            f"invalid parameters for feedback model {name!r}: {error}"
+        ) from None

@@ -27,6 +27,7 @@ EXPECTED_DOCUMENTS = (
     "BENCH_batch_scoring.json",
     "BENCH_parallel_scaling.json",
     "BENCH_serving.json",
+    "BENCH_simulate.json",
 )
 
 
@@ -66,6 +67,23 @@ def test_serving_document_records_the_load_gate():
     # Headline metrics are the coalesced tier's.
     assert metrics["rps"] == metrics["coalesced_rps"]
     assert payload["speedups"]["coalesced_vs_legacy_rps"] >= 3.0
+
+
+def test_simulate_document_records_throughput_and_drift_series():
+    """The committed simulation numbers: throughput, determinism, drift."""
+    payload = bench_json.load_and_validate(OUTPUT_DIR / "BENCH_simulate.json")
+    metrics = payload["metrics"]
+    assert payload["equal"] is True  # serial vs threaded replay byte-identical
+    assert metrics["events_per_s"] > 0
+    assert metrics["online_events_per_s"] > 0
+    n_windows = payload["config"]["events"] // payload["config"]["window"]
+    for index in range(n_windows):
+        assert 0.0 <= metrics[f"window_{index}_coverage"] <= 1.0
+        assert 0.0 <= metrics[f"window_{index}_gini"] <= 1.0
+        assert 0.0 <= metrics[f"window_{index}_precision"] <= 1.0
+        assert 0.0 <= metrics[f"window_{index}_epc"] <= 1.0
+    assert 0.0 <= metrics["cumulative_coverage"] <= 1.0
+    assert 0.0 <= metrics["online_cumulative_coverage"] <= 1.0
 
 
 def test_validator_rejects_malformed_payloads():

@@ -107,6 +107,54 @@ class TestCoverageState:
         # from the historical full recompute.
         assert np.array_equal(state.scores, recompute_scores(counts))
 
+    def test_apply_batch_empty_and_all_empty_are_no_ops(self):
+        state = CoverageState.zeros(3)
+        state.apply_batch([])
+        state.apply_batch([np.empty(0, dtype=np.int64), []])
+        np.testing.assert_array_equal(state.counts, np.zeros(3))
+        np.testing.assert_array_equal(state.scores, np.ones(3))
+
+    @FAST
+    @given(steps=ASSIGNMENTS)
+    def test_apply_batch_bit_identical_to_looped_apply(self, steps):
+        looped = CoverageState.zeros(N_ITEMS)
+        for items in steps:
+            looped.apply(np.asarray(items, dtype=np.int64))
+        batched = CoverageState.zeros(N_ITEMS)
+        batched.apply_batch([np.asarray(items, dtype=np.int64) for items in steps])
+        assert np.array_equal(batched.counts, looped.counts)
+        assert np.array_equal(batched.scores, looped.scores)
+
+    @FAST
+    @given(
+        base=st.lists(st.integers(0, 5), min_size=N_ITEMS, max_size=N_ITEMS),
+        items=st.lists(st.integers(0, N_ITEMS - 1), min_size=0, max_size=12),
+    )
+    def test_apply_then_revert_round_trips_bitwise(self, base, items):
+        state = CoverageState(np.asarray(base, dtype=np.float64))
+        counts_before = state.counts.copy()
+        scores_before = state.scores.copy()
+        items = np.asarray(items, dtype=np.int64)
+        state.apply(items)
+        state.revert(items)
+        assert np.array_equal(state.counts, counts_before)
+        assert np.array_equal(state.scores, scores_before)
+
+    def test_revert_rejects_unapplied_items_and_leaves_state_unchanged(self):
+        state = CoverageState.zeros(4)
+        state.apply(np.array([1, 1, 2]))
+        counts_before = state.counts.copy()
+        scores_before = state.scores.copy()
+        with pytest.raises(ConfigurationError):
+            state.revert(np.array([1, 3]))  # item 3 was never assigned
+        np.testing.assert_array_equal(state.counts, counts_before)
+        np.testing.assert_array_equal(state.scores, scores_before)
+
+    def test_revert_empty_is_a_no_op(self):
+        state = CoverageState.zeros(3)
+        state.revert(np.empty(0, dtype=np.int64))
+        np.testing.assert_array_equal(state.counts, np.zeros(3))
+
 
 # --------------------------------------------------------------------------- #
 # DeltaSnapshots

@@ -12,6 +12,7 @@ from __future__ import annotations
 import http.client
 import json
 import logging
+import threading
 import urllib.error
 import urllib.request
 from pathlib import Path
@@ -183,6 +184,41 @@ def test_fallback_without_pipeline_raises(pop_artifact_dir):
     store = RecommendationStore(pop_artifact_dir)
     with pytest.raises(ServingError, match="no\\s+fallback pipeline"):
         store.top_n(0, N + 1)
+
+
+def test_concurrent_fallback_builds_serialize(small_split, tmp_path):
+    """Concurrent fallback lookups on a dyn-coverage GANC store are safe.
+
+    ``recommend_all`` on a dynamic-coverage pipeline mutates shared
+    optimizer state, so overlapping builds used to corrupt each other's
+    tables; the store must serialize them (and, as a side effect, dedupe
+    same-``n`` builds instead of racing).
+    """
+    pipeline = Pipeline(_ganc_spec()).fit(small_split)
+    pipeline.save(tmp_path / "pipe")
+    compile_artifact(pipeline, tmp_path / "art")
+    users = np.arange(small_split.train.n_users, dtype=np.int64)
+    bigger = N + 5  # beyond the compiled n -> every row needs the fallback
+    reference = pipeline.recommend_all(bigger).items
+
+    for _ in range(3):
+        store = RecommendationStore(tmp_path / "art", pipeline=tmp_path / "pipe")
+        results: list[np.ndarray | None] = [None] * 4
+        threads = [
+            threading.Thread(
+                target=lambda slot=slot: results.__setitem__(
+                    slot, store.top_n(users, bigger)
+                )
+            )
+            for slot in range(len(results))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for got in results:
+            np.testing.assert_array_equal(got, reference)
+        assert store.stats["fallback_builds"] == 1
 
 
 def test_fallback_lru_evicts_oldest_table(pop_pipeline_dir, pop_artifact_dir):
