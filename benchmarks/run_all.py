@@ -29,6 +29,7 @@ import bench_ganc
 import bench_parallel_scaling
 import bench_serving
 import bench_simulate
+import bench_update
 from bench_json import OUTPUT_DIR, load_and_validate
 
 #: name -> (module, full-scale argv, smoke argv)
@@ -63,6 +64,14 @@ BENCHES: dict[str, tuple] = {
         [
             "--scale", "0.05", "--events", "400", "--window", "100",
             "--online-events", "120", "--repeats", "1",
+        ],
+    ),
+    "update": (
+        bench_update,
+        [],
+        [
+            "--scale", "0.1", "--repeats", "1", "--delta-events", "50",
+            "--coldstart-users", "20", "--min-coldstart-speedup", "0",
         ],
     ),
 }

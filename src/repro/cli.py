@@ -452,6 +452,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_compile(args: argparse.Namespace) -> int:
     """Compile a saved pipeline into a serveable top-N artifact."""
+    if args.delta is not None and not args.update:
+        raise ConfigurationError("--delta requires --update")
+    if args.update:
+        # The artifact's own layout is authoritative for an update.
+        for flag, value in (
+            ("--n", args.n),
+            ("--shard-size", args.shard_size),
+            ("--max-users", args.max_users),
+        ):
+            if value is not None:
+                raise ConfigurationError(
+                    f"{flag} cannot be changed by --update; run a full compile"
+                )
+        return _cmd_compile_update(args)
     from repro.serving import compile_artifact
 
     directory = compile_artifact(
@@ -471,6 +485,39 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         f"compiled top-{manifest['n']} artifact for {manifest['n_users']}/"
         f"{manifest['n_users_total']} users ({len(manifest['shards'])} shard(s)) "
         f"of {manifest['algorithm']} to {directory}"
+    )
+    return 0
+
+
+def _cmd_compile_update(args: argparse.Namespace) -> int:
+    """Delta-only recompilation of a live artifact (``repro compile --update``)."""
+    from repro.serving import compile_artifact_update, ingest_and_update
+
+    if args.delta is not None:
+        _, refit_report, report = ingest_and_update(
+            args.pipeline,
+            args.artifact,
+            args.delta,
+            block_size=args.block_size,
+            n_jobs=args.jobs,
+            backend=args.backend,
+        )
+        print(
+            f"ingested {args.delta} ({refit_report.kind} refit) into {args.pipeline}"
+        )
+    else:
+        report = compile_artifact_update(
+            args.pipeline,
+            args.artifact,
+            block_size=args.block_size,
+            n_jobs=args.jobs,
+            backend=args.backend,
+        )
+    print(
+        f"updated artifact {report.artifact_dir} to revision {report.revision}: "
+        f"{report.users_recomputed}/{report.n_users} rows recomputed, "
+        f"{report.shards_skipped} shard(s) unchanged, "
+        f"{report.shards_rewritten} rewritten, {report.shards_appended} appended"
     )
     return 0
 
@@ -760,6 +807,18 @@ def build_parser() -> argparse.ArgumentParser:
     compile_cmd.add_argument(
         "--backend", choices=list(EXECUTOR_BACKENDS), default=None,
         help="executor backend for the compile pass",
+    )
+    compile_cmd.add_argument(
+        "--update", action="store_true",
+        help="delta-recompile an existing artifact in place: recompute only "
+        "what changed, rewrite only shards whose rows differ, bump the "
+        "manifest revision (layout flags are taken from the artifact)",
+    )
+    compile_cmd.add_argument(
+        "--delta", type=str, default=None,
+        help="ingest this user,item[,rating] CSV into the saved pipeline "
+        "before updating (requires --update; the pipeline directory is "
+        "refitted and saved back in place)",
     )
     compile_cmd.set_defaults(handler=_cmd_compile)
 

@@ -9,10 +9,19 @@ This subpackage implements everything the paper's Section II-A data model needs:
 * a synthetic dataset factory that reproduces the datasets' popularity bias and
   sparsity profile when the original files are not available offline,
 * train/test splitting utilities (per-user ratio split κ, leave-k-out),
+* streaming ingestion (:mod:`repro.data.incremental`): append new rating
+  triples to a split — id-map growth included — without mutating anything,
 * item popularity statistics and the Pareto (80/20) long-tail item set.
 """
 
 from repro.data.dataset import RatingDataset, Interaction
+from repro.data.incremental import (
+    SplitExtension,
+    consumed_delta,
+    extend_split,
+    extend_split_interactions,
+    read_delta_csv,
+)
 from repro.data.popularity import PopularityStats, long_tail_items, compute_popularity
 from repro.data.split import (
     RatioSplitter,
@@ -37,6 +46,11 @@ from repro.data.loaders import (
 __all__ = [
     "RatingDataset",
     "Interaction",
+    "SplitExtension",
+    "consumed_delta",
+    "extend_split",
+    "extend_split_interactions",
+    "read_delta_csv",
     "PopularityStats",
     "long_tail_items",
     "compute_popularity",

@@ -153,6 +153,87 @@ class RatingDataset:
             name=name,
         )
 
+    def extend(
+        self,
+        user_indices: np.ndarray,
+        item_indices: np.ndarray,
+        ratings: np.ndarray,
+        *,
+        n_users: int | None = None,
+        n_items: int | None = None,
+        user_ids: Sequence[object] | None = None,
+        item_ids: Sequence[object] | None = None,
+        name: str | None = None,
+    ) -> "RatingDataset":
+        """Append interactions (optionally growing the universe) into a *new* dataset.
+
+        This is the ingestion constructor of the streaming path
+        (:mod:`repro.data.incremental`): the receiver is left untouched —
+        immutability is preserved by returning a fresh dataset whose
+        interaction arrays are the receiver's followed by the appended
+        triples, in order.  Models that support delta refits rely on that
+        prefix property to recover the delta from the extended dataset.
+
+        Parameters
+        ----------
+        user_indices, item_indices, ratings:
+            The appended triples in *dense* index space.  Indices at or
+            beyond the current universe grow it (see below); an empty batch
+            with explicit ``n_users``/``n_items`` grows the universe without
+            adding interactions (cold-start arrivals).
+        n_users, n_items:
+            New universe sizes.  Default to the smallest size containing the
+            appended indices (never smaller than the current universe);
+            explicit values must not shrink the universe.
+        user_ids, item_ids:
+            Raw identifiers for the *newly added* universe entries only
+            (``n_users - self.n_users`` / ``n_items - self.n_items``
+            entries).  Default to the new dense indices, matching the base
+            constructor's convention.
+        """
+        users = np.atleast_1d(np.asarray(user_indices, dtype=np.int64))
+        items = np.atleast_1d(np.asarray(item_indices, dtype=np.int64))
+        values = np.atleast_1d(np.asarray(ratings, dtype=np.float64))
+        grown_users = int(users.max()) + 1 if users.size else self._n_users
+        grown_items = int(items.max()) + 1 if items.size else self._n_items
+        n_users = max(self._n_users, grown_users) if n_users is None else int(n_users)
+        n_items = max(self._n_items, grown_items) if n_items is None else int(n_items)
+        if n_users < self._n_users or n_items < self._n_items:
+            raise DataError(
+                f"extend() cannot shrink the universe: {self._n_users}x{self._n_items} "
+                f"-> {n_users}x{n_items}"
+            )
+        added_users = n_users - self._n_users
+        added_items = n_items - self._n_items
+        new_user_ids = (
+            list(user_ids) if user_ids is not None
+            else list(range(self._n_users, n_users))
+        )
+        new_item_ids = (
+            list(item_ids) if item_ids is not None
+            else list(range(self._n_items, n_items))
+        )
+        if len(new_user_ids) != added_users:
+            raise DataError(
+                f"user_ids must name exactly the {added_users} new user(s), "
+                f"got {len(new_user_ids)} entries"
+            )
+        if len(new_item_ids) != added_items:
+            raise DataError(
+                f"item_ids must name exactly the {added_items} new item(s), "
+                f"got {len(new_item_ids)} entries"
+            )
+        return RatingDataset(
+            np.concatenate([self._users, users]),
+            np.concatenate([self._items, items]),
+            np.concatenate([self._ratings, values]),
+            n_users=n_users,
+            n_items=n_items,
+            user_ids=self._user_ids + new_user_ids,
+            item_ids=self._item_ids + new_item_ids,
+            name=name or self._name,
+        )
+
     def with_interactions(
         self,
         user_indices: np.ndarray,

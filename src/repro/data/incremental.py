@@ -1,0 +1,244 @@
+"""Streaming ingestion: append new rating triples to an immutable split.
+
+The paper's framework is an offline design — everything downstream (model
+fits, the GANC assignment, compiled serving artifacts) is a function of one
+frozen train/test split.  This module is the front door for *new* ratings
+arriving after that split was made: it appends triples to the train side
+while preserving the immutability contract (every step returns new
+datasets; see :meth:`~repro.data.dataset.RatingDataset.extend`), grows the
+id maps for unseen raw users/items in first-appearance order (the same
+determinism rule as :meth:`RatingDataset.from_interactions`), and reports
+exactly which dense users were touched — the signal the delta-refit and
+delta-compile layers (:mod:`repro.serving.update`) need to bound their
+work.
+
+Three ingestion shapes are supported:
+
+* dense-index deltas (:func:`extend_split`) — e.g. feedback replayed by the
+  simulator, which already lives in the split's index space,
+* raw-id deltas (:func:`extend_split_interactions`) — `(user, item, rating)`
+  records whose identifiers may never have been seen before,
+* delta CSV files (:func:`read_delta_csv`) — the ``repro compile --update
+  --delta`` wire format, one ``user,item[,rating]`` line per new rating.
+
+:func:`consumed_delta` converts a simulation's per-event consumed feedback
+(:class:`~repro.simulate.engine.SimulationResult`) into dense delta arrays,
+closing the online loop: simulate → ingest → delta-refit → delta-compile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.data.dataset import Interaction, RatingDataset
+from repro.data.split import TrainTestSplit
+from repro.exceptions import DataError, DataFormatError
+
+
+@dataclass(frozen=True)
+class SplitExtension:
+    """An extended split plus the delta bookkeeping downstream layers need.
+
+    Attributes
+    ----------
+    split:
+        The new :class:`~repro.data.split.TrainTestSplit`; its train side is
+        the old train followed by the appended triples (prefix-preserving),
+        its test side keeps the old test triples over the grown universe.
+    changed_users:
+        Sorted dense indices of users that gained at least one train rating.
+    new_users, new_items:
+        Dense indices appended to the universe (empty when it did not grow).
+    n_new_ratings:
+        Number of appended train triples.
+    """
+
+    split: TrainTestSplit
+    changed_users: np.ndarray
+    new_users: np.ndarray
+    new_items: np.ndarray
+    n_new_ratings: int
+
+
+def _grow_test(
+    test: RatingDataset, train: RatingDataset
+) -> RatingDataset:
+    """Re-universe the test side onto the extended train's universe."""
+    if test.n_users == train.n_users and test.n_items == train.n_items:
+        return test
+    old_users = test.n_users
+    old_items = test.n_items
+    return test.extend(
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.float64),
+        n_users=train.n_users,
+        n_items=train.n_items,
+        user_ids=train.user_ids[old_users:],
+        item_ids=train.item_ids[old_items:],
+    )
+
+
+def extend_split(
+    split: TrainTestSplit,
+    user_indices: np.ndarray,
+    item_indices: np.ndarray,
+    ratings: np.ndarray,
+    *,
+    n_users: int | None = None,
+    n_items: int | None = None,
+    user_ids: Sequence[object] | None = None,
+    item_ids: Sequence[object] | None = None,
+) -> SplitExtension:
+    """Append dense-index train triples to a split, growing the universe as needed.
+
+    Parameters mirror :meth:`RatingDataset.extend`; the appended triples go
+    to the *train* side (new observations are training signal — held-out
+    test futures stay frozen so evaluation remains comparable), and the test
+    side is re-universed to keep the split's shared-universe invariant.
+    """
+    old_users = split.train.n_users
+    old_items = split.train.n_items
+    train = split.train.extend(
+        user_indices,
+        item_indices,
+        ratings,
+        n_users=n_users,
+        n_items=n_items,
+        user_ids=user_ids,
+        item_ids=item_ids,
+    )
+    test = _grow_test(split.test, train)
+    delta_users = train.user_indices[split.train.n_ratings:]
+    return SplitExtension(
+        split=TrainTestSplit(train=train, test=test),
+        changed_users=np.unique(delta_users),
+        new_users=np.arange(old_users, train.n_users, dtype=np.int64),
+        new_items=np.arange(old_items, train.n_items, dtype=np.int64),
+        n_new_ratings=int(delta_users.size),
+    )
+
+
+def extend_split_interactions(
+    split: TrainTestSplit,
+    interactions: Iterable[Interaction] | Iterable[tuple[object, object, float]],
+) -> SplitExtension:
+    """Append raw-id ``(user, item, rating)`` records, growing the id maps.
+
+    Known raw identifiers resolve through the split's existing id maps;
+    unseen identifiers are assigned fresh dense indices in first-appearance
+    order (the same rule :meth:`RatingDataset.from_interactions` uses), so
+    repeated ingestion of the same delta file is deterministic.
+    """
+    train = split.train
+    user_map = {raw: index for index, raw in enumerate(train.user_ids)}
+    item_map = {raw: index for index, raw in enumerate(train.item_ids)}
+    users: list[int] = []
+    items: list[int] = []
+    values: list[float] = []
+    new_user_ids: list[object] = []
+    new_item_ids: list[object] = []
+    for record in interactions:
+        if isinstance(record, Interaction):
+            raw_user, raw_item, rating = record.user, record.item, record.rating
+        else:
+            raw_user, raw_item, rating = record
+        if raw_user not in user_map:
+            user_map[raw_user] = len(user_map)
+            new_user_ids.append(raw_user)
+        if raw_item not in item_map:
+            item_map[raw_item] = len(item_map)
+            new_item_ids.append(raw_item)
+        users.append(user_map[raw_user])
+        items.append(item_map[raw_item])
+        values.append(float(rating))
+    return extend_split(
+        split,
+        np.asarray(users, dtype=np.int64),
+        np.asarray(items, dtype=np.int64),
+        np.asarray(values, dtype=np.float64),
+        n_users=len(user_map),
+        n_items=len(item_map),
+        user_ids=new_user_ids,
+        item_ids=new_item_ids,
+    )
+
+
+def _coerce_id(token: str) -> object:
+    """Raw CSV ids: integers when they parse as such (the loaders' and
+    synthetic factory's default id type), verbatim strings otherwise."""
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def read_delta_csv(path: str | Path) -> list[tuple[object, object, float]]:
+    """Read a delta file of ``user,item[,rating]`` lines (rating defaults to 1.0).
+
+    A first line whose rating column does not parse as a number is treated
+    as a header and skipped.  Malformed lines raise
+    :class:`~repro.exceptions.DataFormatError` naming the file and line.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise DataFormatError(f"cannot read delta file {path}: {exc}") from exc
+    records: list[tuple[object, object, float]] = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = [part.strip() for part in line.split(",")]
+        if len(parts) not in (2, 3):
+            raise DataFormatError(
+                f"{path}:{number}: expected 'user,item[,rating]', got {line!r}"
+            )
+        try:
+            rating = float(parts[2]) if len(parts) == 3 else 1.0
+        except ValueError as exc:
+            if number == 1 and not records:
+                continue  # header line
+            raise DataFormatError(
+                f"{path}:{number}: rating {parts[2]!r} is not a number"
+            ) from exc
+        records.append((_coerce_id(parts[0]), _coerce_id(parts[1]), rating))
+    if not records:
+        raise DataFormatError(f"delta file {path} contains no interactions")
+    return records
+
+
+def consumed_delta(
+    event_users: np.ndarray,
+    consumed: Sequence[np.ndarray],
+    *,
+    rating: float = 1.0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Dense delta arrays from a simulation's per-event consumed feedback.
+
+    ``event_users[e]`` is the dense user behind event ``e`` and
+    ``consumed[e]`` the item indices that event's feedback model consumed
+    (:attr:`SimulationResult.consumed <repro.simulate.SimulationResult>`);
+    each consumed item becomes one implicit-rating triple, preserving event
+    order and duplicates (repeat consumption is repeat evidence — exactly
+    what popularity counting expects).
+    """
+    event_users = np.asarray(event_users, dtype=np.int64)
+    if event_users.size != len(consumed):
+        raise DataError(
+            f"consumed_delta needs one consumed array per event, got "
+            f"{event_users.size} events and {len(consumed)} arrays"
+        )
+    sizes = np.asarray([np.asarray(arr).size for arr in consumed], dtype=np.int64)
+    users = np.repeat(event_users, sizes)
+    items = (
+        np.concatenate([np.asarray(arr, dtype=np.int64) for arr in consumed])
+        if users.size
+        else np.empty(0, dtype=np.int64)
+    )
+    return users, items, np.full(users.size, float(rating), dtype=np.float64)

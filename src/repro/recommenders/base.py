@@ -93,6 +93,21 @@ class Recommender(ParamsMixin, ABC):
     what makes pipeline specs round-trippable.
     """
 
+    #: Whether :meth:`delta_refit` is implemented.  Models whose fitted state
+    #: can absorb appended interactions exactly (bit-identical to a
+    #: from-scratch fit) set this True; everything else keeps the full-refit
+    #: fallback the streaming path (:mod:`repro.serving.update`) applies.
+    supports_delta_refit: bool = False
+
+    #: Set by every :meth:`delta_refit` implementation: whether the last
+    #: delta refit changed any fitted state (as persisted by
+    #: ``Pipeline.save``).  A pure cold-start delta — new users, no new
+    #: interactions or items — leaves counts and similarities bitwise
+    #: intact, which lets the streaming compile path
+    #: (:mod:`repro.serving.update`) recompute only the arrivals' rows.
+    #: The default is the conservative answer.
+    delta_changed_state: bool = True
+
     def __init__(self) -> None:
         self._train: RatingDataset | None = None
 
@@ -102,6 +117,56 @@ class Recommender(ParamsMixin, ABC):
     @abstractmethod
     def fit(self, train: RatingDataset) -> "Recommender":
         """Fit the model on the train interactions and return ``self``."""
+
+    def delta_refit(self, train: RatingDataset) -> "Recommender":
+        """Absorb the interactions appended to the current train data.
+
+        ``train`` must be an *extension* of :attr:`train_data` — the dataset
+        returned by :meth:`RatingDataset.extend` (or
+        :func:`repro.data.incremental.extend_split`), whose interaction
+        arrays start with the fitted train's arrays.  The contract is
+        strict: after ``delta_refit(train)`` every scoring path must produce
+        exactly the bytes a fresh ``fit(train)`` would.  The base class does
+        not support it; callers should fall back to :meth:`fit` on
+        :class:`~repro.exceptions.ConfigurationError`.
+        """
+        raise ConfigurationError(
+            f"{type(self).__name__} does not support delta refits; call fit()"
+        )
+
+    def _delta_interactions(
+        self, train: RatingDataset
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Validate the extension contract and return the appended triples."""
+        self._check_fitted()
+        old = self.train_data
+        if (
+            train.n_users < old.n_users
+            or train.n_items < old.n_items
+            or train.n_ratings < old.n_ratings
+        ):
+            raise ConfigurationError(
+                "delta_refit needs an extension of the fitted train data; got a "
+                f"{train.n_users}x{train.n_items} dataset with {train.n_ratings} "
+                f"ratings vs the fitted {old.n_users}x{old.n_items} with "
+                f"{old.n_ratings}"
+            )
+        k = old.n_ratings
+        if not (
+            np.array_equal(train.user_indices[:k], old.user_indices)
+            and np.array_equal(train.item_indices[:k], old.item_indices)
+            and np.array_equal(train.ratings[:k], old.ratings)
+        ):
+            raise ConfigurationError(
+                "delta_refit needs a dataset created by extend() on the fitted "
+                "train data (the fitted interactions must be a prefix); refit "
+                "from scratch instead"
+            )
+        return (
+            train.user_indices[k:],
+            train.item_indices[k:],
+            train.ratings[k:],
+        )
 
     def _mark_fitted(self, train: RatingDataset) -> None:
         self._train = train

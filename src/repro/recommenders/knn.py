@@ -27,6 +27,8 @@ class ItemKNN(Recommender):
         supported by few co-ratings.
     """
 
+    supports_delta_refit = True
+
     def __init__(self, k: int = 50, *, shrinkage: float = 10.0) -> None:
         super().__init__()
         if k < 1:
@@ -37,28 +39,87 @@ class ItemKNN(Recommender):
         self.shrinkage = float(shrinkage)
         self.similarity_: np.ndarray | None = None
         self._abs_similarity: np.ndarray | None = None
+        self._gram: np.ndarray | None = None
 
-    def fit(self, train: RatingDataset) -> "ItemKNN":
-        """Compute the (dense) item-item cosine similarity matrix."""
-        matrix = train.to_csc().astype(np.float64)
-        # Cosine similarity between item columns.
-        gram = (matrix.T @ matrix).toarray()
+    def _finalize(self, gram: np.ndarray, n_items: int) -> None:
+        """Normalize + sparsify a gram matrix into the similarity state.
+
+        Shared by :meth:`fit` and :meth:`delta_refit` so both walk the exact
+        same float operations — the delta path's byte-identity guarantee
+        reduces to its gram entries matching the from-scratch product.
+        """
         norms = np.sqrt(np.diag(gram))
         denom = np.outer(norms, norms) + self.shrinkage
         denom[denom == 0.0] = 1.0
         similarity = gram / denom
         np.fill_diagonal(similarity, 0.0)
 
-        if self.k < train.n_items - 1:
+        if self.k < n_items - 1:
             # Keep only the top-k neighbours per item (sparsify in place).
-            for item in range(train.n_items):
+            for item in range(n_items):
                 row = similarity[item]
                 if np.count_nonzero(row) > self.k:
                     threshold = np.partition(row, -self.k)[-self.k]
                     row[row < threshold] = 0.0
+        # The raw gram is kept (and persisted) so appended interactions can
+        # be absorbed by recomputing only the touched rows/columns.
+        self._gram = gram
         self.similarity_ = similarity
         # Cached for the batched score path's weight-mass product.
         self._abs_similarity = np.abs(similarity)
+
+    def fit(self, train: RatingDataset) -> "ItemKNN":
+        """Compute the (dense) item-item cosine similarity matrix."""
+        matrix = train.to_csc().astype(np.float64)
+        # Cosine similarity between item columns.
+        gram = (matrix.T @ matrix).toarray()
+        self._finalize(gram, train.n_items)
+        self._mark_fitted(train)
+        return self
+
+    def delta_refit(self, train: RatingDataset) -> "ItemKNN":
+        """Recompute only the gram rows/columns of items touched by the delta.
+
+        Appended interactions change the rating-matrix columns of exactly
+        the items they mention, so only gram rows/columns of those items
+        move; both are recomputed with *restricted* sparse products
+        (``Mᵀ[touched] @ M`` and ``Mᵀ @ M[:, touched]``), which scipy
+        evaluates with the same per-entry accumulation order as the full
+        product — the refreshed entries are bit-identical to a from-scratch
+        gram (asserted in ``tests/test_incremental.py``).  Normalization and
+        top-k sparsification then rerun in full: touched norms change every
+        denominator they appear in, so no similarity row can be assumed
+        stable, but that pass is dense O(|I|²) — the expensive sparse matmul
+        is what the delta avoids.
+        """
+        self._check_fitted()
+        if self._gram is None:
+            raise ConfigurationError(
+                "this ItemKNN has no cached gram matrix (saved before delta "
+                "support was added); refit from scratch instead"
+            )
+        _, delta_items, _ = self._delta_interactions(train)
+        n_items = train.n_items
+        gram = self._gram
+        if n_items > gram.shape[0]:
+            grown = np.zeros((n_items, n_items), dtype=np.float64)
+            grown[: gram.shape[0], : gram.shape[0]] = gram
+            gram = grown
+        touched = np.unique(delta_items)
+        self.delta_changed_state = bool(touched.size) or n_items != self._gram.shape[0]
+        if not self.delta_changed_state:
+            # Pure user growth (cold-start arrivals): no rating-matrix
+            # column moved and no item appeared, so the gram, similarity
+            # and top-k state are already bitwise what a fresh fit would
+            # produce — only the train reference needs updating.
+            self._mark_fitted(train)
+            return self
+        if touched.size:
+            matrix = train.to_csc().astype(np.float64)
+            transpose = matrix.T  # CSR view: rows are item columns of M
+            gram[touched, :] = (transpose[touched] @ matrix).toarray()
+            gram[:, touched] = (transpose @ matrix[:, touched]).toarray()
+        self._finalize(gram, n_items)
         self._mark_fitted(train)
         return self
 

@@ -25,19 +25,44 @@ class MostPopular(Recommender):
     identical recommendation sets.
     """
 
+    supports_delta_refit = True
+
     def __init__(self) -> None:
         super().__init__()
         self._popularity: np.ndarray | None = None
         self._scores: np.ndarray | None = None
 
+    def _rescore(self, n_items: int) -> None:
+        # Deterministic tie-break: subtract a tiny index-based epsilon so equal
+        # popularity resolves to the lower item index first.
+        assert self._popularity is not None
+        jitter = np.arange(n_items, dtype=np.float64) / (10.0 * max(n_items, 1))
+        self._scores = self._popularity - jitter
+
     def fit(self, train: RatingDataset) -> "MostPopular":
         """Count item frequencies in ``train``."""
         self._popularity = train.item_popularity().astype(np.float64)
-        # Deterministic tie-break: subtract a tiny index-based epsilon so equal
-        # popularity resolves to the lower item index first.
-        n_items = train.n_items
-        jitter = np.arange(n_items, dtype=np.float64) / (10.0 * max(n_items, 1))
-        self._scores = self._popularity - jitter
+        self._rescore(train.n_items)
+        self._mark_fitted(train)
+        return self
+
+    def delta_refit(self, train: RatingDataset) -> "MostPopular":
+        """Add the appended interactions' counts to the fitted popularity.
+
+        Bit-identical to a fresh :meth:`fit` on ``train``: popularity counts
+        are integer-valued float64s, and adding 1.0 per delta interaction is
+        exact regardless of order, so the delta-updated counts equal the
+        from-scratch ``bincount``; the tie-break scores are recomputed in
+        full (the jitter denominator depends on ``n_items``).
+        """
+        _, delta_items, _ = self._delta_interactions(train)
+        assert self._popularity is not None
+        self.delta_changed_state = bool(delta_items.size) or train.n_items != self._popularity.size
+        popularity = np.zeros(train.n_items, dtype=np.float64)
+        popularity[: self._popularity.size] = self._popularity
+        np.add.at(popularity, delta_items, 1.0)
+        self._popularity = popularity
+        self._rescore(train.n_items)
         self._mark_fitted(train)
         return self
 

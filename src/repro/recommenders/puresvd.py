@@ -46,7 +46,13 @@ class PureSVD(Recommender):
                 "PureSVD needs a train matrix with at least 2 users and 2 items"
             )
         k = min(self.n_factors, max_rank)
-        u, s, vt = svds(matrix, k=k)
+        # svds' default ARPACK start vector is drawn from the *global* numpy
+        # RNG, so a fit is only reproducible when something upstream happens
+        # to have seeded it (dataset generation does; a refit of a loaded
+        # pipeline does not).  A fixed start vector makes every fit
+        # deterministic on its own.
+        v0 = np.ones(min(matrix.shape), dtype=np.float64)
+        u, s, vt = svds(matrix, k=k, v0=v0)
         # svds returns singular values in ascending order; flip to descending.
         order = np.argsort(-s)
         self.user_factors_ = u[:, order] * s[order][None, :]

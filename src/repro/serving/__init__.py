@@ -10,6 +10,13 @@ package is the online half:
     ``recommend_all`` once — fanned out over :mod:`repro.parallel` — and
     writes memory-mappable ``.npy`` shards of item ids + scores plus a
     ``manifest.json`` (spec hash, N, shard layout, numpy/scipy line).
+:mod:`repro.serving.update`
+    Delta-only recompilation (``repro compile --update``):
+    :func:`refit_pipeline` absorbs a split extension via the recommenders'
+    exact delta refits (full-fit fallback), and
+    :func:`compile_artifact_update` byte-compares fresh rows against the
+    live artifact and rewrites only the shards that changed, bumping the
+    manifest ``revision`` for warm reloads.
 :mod:`repro.serving.store`
     :class:`RecommendationStore` memory-maps the shards and answers
     ``top_n(users, n)`` with O(1) row reads, falling back to a live
@@ -59,6 +66,13 @@ from repro.serving.service import (
     start_in_thread,
 )
 from repro.serving.store import RecommendationStore, open_store
+from repro.serving.update import (
+    RefitReport,
+    UpdateReport,
+    compile_artifact_update,
+    ingest_and_update,
+    refit_pipeline,
+)
 
 __all__ = [
     "ARTIFACT_FORMAT_VERSION",
@@ -69,6 +83,11 @@ __all__ = [
     "load_manifest",
     "serving_environment",
     "spec_hash",
+    "RefitReport",
+    "UpdateReport",
+    "compile_artifact_update",
+    "ingest_and_update",
+    "refit_pipeline",
     "RecommendationStore",
     "open_store",
     "RecommendationServer",

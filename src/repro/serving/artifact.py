@@ -41,8 +41,10 @@ to the compiled ``n``, so smaller ``k`` must fall back to live scoring).
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
+import time
 from pathlib import Path
 from typing import Any
 
@@ -110,6 +112,23 @@ def _shard_name(kind: str, index: int) -> str:
     return f"{_SHARD_DIR}/{kind}_{index:05d}.npy"
 
 
+#: Per-process monotone counter making tmp names unique within a process;
+#: the pid makes them unique across processes sharing an artifact dir.
+_TMP_COUNTER = itertools.count()
+
+
+def _tmp_path(path: Path) -> Path:
+    """A collision-free temporary sibling of ``path``.
+
+    Two compiles writing into the same artifact directory (two processes,
+    or two threads of one) must never share a tmp name: a fixed
+    ``<name>.tmp`` would interleave their writes and rename a corrupt file
+    into place.  pid + per-process counter keeps every in-flight tmp
+    distinct; the ``.tmp`` suffix keeps it visible to the stale sweep.
+    """
+    return path.with_name(f"{path.name}.{os.getpid()}-{next(_TMP_COUNTER)}.tmp")
+
+
 def _atomic_save(path: Path, array: np.ndarray) -> None:
     """Write one ``.npy`` file via rename, never truncating an existing file.
 
@@ -120,7 +139,7 @@ def _atomic_save(path: Path, array: np.ndarray) -> None:
     until the store reloads — overwriting in place would mutate (or, after
     truncation, SIGBUS) pages under a serving process.
     """
-    tmp = path.with_name(path.name + ".tmp")
+    tmp = _tmp_path(path)
     with open(tmp, "wb") as handle:
         np.save(handle, array)
     os.replace(tmp, path)
@@ -128,9 +147,76 @@ def _atomic_save(path: Path, array: np.ndarray) -> None:
 
 def _atomic_write_json(path: Path, payload: dict[str, Any]) -> None:
     """Write JSON via rename for the same live-reader reasons as shards."""
-    tmp = path.with_name(path.name + ".tmp")
+    tmp = _tmp_path(path)
     tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
     os.replace(tmp, path)
+
+
+def _sweep_stale(output_dir: Path, referenced: set[str], started: float) -> None:
+    """Delete shard files the fresh manifest no longer references.
+
+    Recompiling in place with a different shard layout (or ``--max-users``)
+    can leave ``.npy`` files behind; live stores that mapped them keep
+    reading their (unlinked) inodes until they reload.  Leftover ``.tmp``
+    files are swept only when they predate this compile's start — a tmp
+    younger than that may belong to another in-flight compile, whose rename
+    must not be sabotaged.  ``missing_ok`` tolerates two concurrent sweeps
+    racing over the same stale file.
+    """
+    for stale in (output_dir / _SHARD_DIR).iterdir():
+        if stale.suffix == ".npy" and stale.name not in referenced:
+            stale.unlink(missing_ok=True)
+        elif stale.name.endswith(".tmp"):
+            try:
+                if stale.stat().st_mtime < started:
+                    stale.unlink(missing_ok=True)
+            except FileNotFoundError:
+                pass
+
+
+def _previous_revision(output_dir: Path) -> int:
+    """The revision of an artifact already in ``output_dir`` (0 when none).
+
+    ``revision`` is a per-directory monotone counter: every compile or
+    update that swaps the manifest bumps it, so a live store (or anything
+    watching ``/healthz``) can tell warm reloads apart.  A missing or
+    unreadable manifest counts as no previous artifact.
+    """
+    try:
+        manifest = read_json(output_dir / MANIFEST_FILE)
+    except DataFormatError:
+        return 0
+    revision = manifest.get("revision", 1)
+    return int(revision) if isinstance(revision, (int, float)) else 0
+
+
+def _compute_rows(
+    pipeline: Pipeline,
+    n: int,
+    coverage: int,
+    *,
+    block_size: int | None,
+    executor: Executor | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The compile pass: top-N item rows plus diagnostic score rows.
+
+    Shared by :func:`compile_artifact` and the delta updater
+    (:func:`repro.serving.update.compile_artifact_update`) so both produce
+    the same bytes for the same pipeline.
+    """
+    # The tentpole contract: stored rows ARE recommend_all's rows.  The
+    # call fans out over the spec'd executor exactly as a live run would.
+    items = pipeline.recommend_all(n, block_size=block_size).items[:coverage]
+
+    # Diagnostic score pass: gather the accuracy recommender's raw scores
+    # of the chosen items, fanned out over the same executor.
+    scores = np.full((coverage, n), np.nan, dtype=np.float64)
+    blocks = list(iter_user_blocks(coverage, block_size))
+    task = TopNScoresTask(pipeline.recommender, items)
+    fan_out = pipeline._executor() if executor is None else executor
+    for users, rows in zip(blocks, fan_out.map_blocks(task, blocks)):
+        scores[users] = rows
+    return items, scores
 
 
 def compile_artifact(
@@ -176,6 +262,7 @@ def compile_artifact(
     Path
         The artifact directory.
     """
+    started = time.time()
     pipeline = _resolve_pipeline(pipeline)
     if not pipeline.is_fitted:
         raise ConfigurationError("compile_artifact needs a fitted pipeline (call fit() or load a saved one)")
@@ -199,18 +286,9 @@ def compile_artifact(
         raise ConfigurationError(f"max_users must be >= 1, got {max_users}")
 
     try:
-        # The tentpole contract: stored rows ARE recommend_all's rows.  The
-        # call fans out over the spec'd executor exactly as a live run would.
-        items = pipeline.recommend_all(n, block_size=block_size).items[:coverage]
-
-        # Diagnostic score pass: gather the accuracy recommender's raw scores
-        # of the chosen items, fanned out over the same executor.
-        scores = np.full((coverage, n), np.nan, dtype=np.float64)
-        blocks = list(iter_user_blocks(coverage, block_size))
-        task = TopNScoresTask(pipeline.recommender, items)
-        fan_out = pipeline._executor() if executor is None else executor
-        for users, rows in zip(blocks, fan_out.map_blocks(task, blocks)):
-            scores[users] = rows
+        items, scores = _compute_rows(
+            pipeline, n, coverage, block_size=block_size, executor=executor
+        )
     finally:
         # The override applies for the duration of the compile only; a
         # caller-owned pipeline must not come back with its execution spec
@@ -220,6 +298,7 @@ def compile_artifact(
 
     output_dir = Path(output_dir)
     (output_dir / _SHARD_DIR).mkdir(parents=True, exist_ok=True)
+    revision = _previous_revision(output_dir) + 1
 
     shards: list[dict[str, Any]] = []
     for index, start in enumerate(range(0, coverage, shard_size)):
@@ -236,6 +315,7 @@ def compile_artifact(
         "n_items": pipeline.split.train.n_items,
         "n_users": coverage,
         "n_users_total": n_users_total,
+        "revision": revision,
         "shard_size": int(shard_size),
         "shards": shards,
         "spec_sha256": spec_hash(pipeline),
@@ -246,28 +326,48 @@ def compile_artifact(
     }
     _atomic_write_json(output_dir / MANIFEST_FILE, manifest)
 
-    # Recompiling in place with a different shard layout (or --max-users)
-    # can leave shard files the new manifest no longer references; delete
-    # them now that the manifest swap is done.  Live stores that mapped the
-    # old files keep reading their (unlinked) inodes until they reload.
     referenced = {entry["items"].split("/")[-1] for entry in shards}
     referenced |= {entry["scores"].split("/")[-1] for entry in shards}
-    for stale in (output_dir / _SHARD_DIR).iterdir():
-        if stale.name not in referenced and stale.suffix in (".npy", ".tmp"):
-            stale.unlink()
+    _sweep_stale(output_dir, referenced, started)
     return output_dir
 
 
 def load_manifest(artifact_dir: str | Path) -> dict[str, Any]:
-    """Read and validate an artifact's ``manifest.json``."""
+    """Read and validate an artifact's ``manifest.json``.
+
+    Every key the :class:`~repro.serving.store.RecommendationStore`
+    dereferences — top-level layout fields and the per-shard entries — is
+    checked here, so a hand-edited or truncated manifest fails at load time
+    with a :class:`~repro.exceptions.DataFormatError` naming the file,
+    never with a bare ``KeyError`` in the middle of a lookup.
+    """
     artifact_dir = Path(artifact_dir)
-    manifest = read_json(artifact_dir / MANIFEST_FILE)
+    manifest_path = artifact_dir / MANIFEST_FILE
+    manifest = read_json(manifest_path)
     if manifest.get("format") != ARTIFACT_FORMAT_VERSION:
         raise DataFormatError(
             f"unsupported artifact format {manifest.get('format')!r} in "
             f"{artifact_dir} (expected {ARTIFACT_FORMAT_VERSION})"
         )
-    for key in ("n", "n_users", "shards"):
+    for key in ("n", "n_items", "n_users", "shard_size", "shards"):
         if key not in manifest:
-            raise DataFormatError(f"artifact manifest {artifact_dir / MANIFEST_FILE} is missing {key!r}")
+            raise DataFormatError(f"artifact manifest {manifest_path} is missing {key!r}")
+    shards = manifest["shards"]
+    if not isinstance(shards, list):
+        raise DataFormatError(
+            f"artifact manifest {manifest_path} has a non-list 'shards' entry "
+            f"({type(shards).__name__})"
+        )
+    for position, entry in enumerate(shards):
+        if not isinstance(entry, dict):
+            raise DataFormatError(
+                f"shard {position} in artifact manifest {manifest_path} is not "
+                f"an object ({type(entry).__name__})"
+            )
+        for key in ("items", "scores", "start", "stop"):
+            if key not in entry:
+                raise DataFormatError(
+                    f"shard {position} in artifact manifest {manifest_path} "
+                    f"is missing {key!r}"
+                )
     return manifest

@@ -141,6 +141,7 @@ def healthz_payload(
         "artifact": str(store.artifact_dir),
         "algorithm": store.manifest.get("algorithm"),
         "n": store.n,
+        "revision": store.revision,
         "coverage": store.coverage,
         "n_users_total": store.n_users_total,
         "fallback": store.has_fallback,

@@ -185,6 +185,16 @@ class RecommendationStore:
         return int(self.manifest.get("n_users_total", self.manifest["n_users"]))
 
     @property
+    def revision(self) -> int:
+        """Monotone per-directory compile counter of the served artifact.
+
+        Bumped by every compile or :func:`~repro.serving.update.compile_artifact_update`
+        that swaps the manifest; artifacts from before the field existed
+        count as revision 1.
+        """
+        return int(self.manifest.get("revision", 1))
+
+    @property
     def prefix_consistent(self) -> bool:
         """Whether top-``k`` for ``k < n`` may be served by slicing stored rows."""
         return self._state.prefix_consistent
@@ -221,7 +231,14 @@ class RecommendationStore:
             return False
         if type(users) is int:  # the async tier's per-request hot path
             return 0 <= users < state.coverage
-        user_block = np.atleast_1d(np.asarray(users, dtype=np.int64))
+        try:
+            with np.errstate(invalid="ignore"):  # NaN→int64 casts warn, not raise
+                user_block = np.atleast_1d(np.asarray(users, dtype=np.int64))
+        except (TypeError, ValueError, OverflowError):
+            # A routing predicate must answer, not raise: NaN floats, object
+            # dtypes and out-of-range values cannot be artifact rows, so they
+            # route to the individual path (which rejects them per request).
+            return False
         if user_block.size == 0:
             return True
         return bool(user_block.min() >= 0) and bool(user_block.max() < state.coverage)

@@ -228,10 +228,18 @@ def _verify_checkpoint(
 
 @dataclass(frozen=True)
 class SimulationResult:
-    """A finished run: the trace it consumed and the structured report."""
+    """A finished run: the trace it consumed and the structured report.
+
+    ``consumed`` holds each event's consumed item indices (same order as
+    ``trace``); together with ``trace.users`` it is exactly what
+    :func:`repro.data.incremental.consumed_delta` needs to turn the run's
+    online feedback into an ingestible rating delta — the simulate →
+    ingest → delta-refit → delta-compile loop.
+    """
 
     trace: Trace
     report: dict[str, Any]
+    consumed: tuple[np.ndarray, ...] = ()
 
 
 def run_simulation(
@@ -425,4 +433,4 @@ def run_simulation(
             "cumulative_gini": _gini(state.counts),
         },
     }
-    return SimulationResult(trace=trace, report=report)
+    return SimulationResult(trace=trace, report=report, consumed=tuple(consumed_all))

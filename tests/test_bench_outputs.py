@@ -28,6 +28,7 @@ EXPECTED_DOCUMENTS = (
     "BENCH_parallel_scaling.json",
     "BENCH_serving.json",
     "BENCH_simulate.json",
+    "BENCH_update.json",
 )
 
 
@@ -84,6 +85,24 @@ def test_simulate_document_records_throughput_and_drift_series():
         assert 0.0 <= metrics[f"window_{index}_epc"] <= 1.0
     assert 0.0 <= metrics["cumulative_coverage"] <= 1.0
     assert 0.0 <= metrics["online_cumulative_coverage"] <= 1.0
+
+
+def test_update_document_records_delta_compile_numbers():
+    """The committed delta-update numbers: byte identity + cold-start win."""
+    payload = bench_json.load_and_validate(OUTPUT_DIR / "BENCH_update.json")
+    metrics = payload["metrics"]
+    speedups = payload["speedups"]
+    # Every updated artifact was byte-compared against a from-scratch
+    # compile of the extended dataset.
+    assert payload["equal"] is True
+    for label in ("rating", "coldstart"):
+        assert metrics[f"{label}_update_s"] > 0
+        assert metrics[f"{label}_scratch_s"] > 0
+        assert metrics[f"{label}_rows_recomputed"] >= 1
+    # Cold-start arrivals hit the narrowed path: most rows carried over,
+    # unchanged shards left in place, and the update beats a full recompile.
+    assert metrics["coldstart_shards_skipped"] >= 1
+    assert speedups["coldstart_update_vs_scratch"] >= 2.0
 
 
 def test_validator_rejects_malformed_payloads():
