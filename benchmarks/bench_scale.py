@@ -1,0 +1,330 @@
+"""Scale benchmark: out-of-core ingestion + ANN retrieval at the 10M-rating mark.
+
+Exercises the whole scale subsystem end to end on one synthetic workload:
+
+1. **generate** — stream a popularity-biased ratings CSV to disk
+   (:func:`repro.data.synthetic.stream_ratings_csv`; Gumbel top-k sampling,
+   never materialized in memory);
+2. **ingest** — ``repro ingest`` path: chunked CSV→npy-shard store
+   (:func:`repro.data.outofcore.ingest_csv`);
+3. **load + split** — open the store memmap-backed and apply the per-user
+   ratio split;
+4. **fit** — exact ItemKNN (dense gram, the golden-pinned path) and the
+   sparse ItemKNN (``exact=False``, blocked gram scan) on the same train
+   split, plus optionally the JL sketch mode (``--sketch-projections``);
+5. **score** — ``recommend_block`` over a user sample on both models;
+   reports the sparse-vs-dense wall-clock ratio and the top-N recall
+   against the exact lists (recall of the sketch mode is reported as a
+   metric but never gated — see ``docs/scale.md`` for why flat similarity
+   spectra defeat sketched candidate search);
+6. **compile** — the sparse pipeline into a serveable artifact.
+
+Peak RSS (``resource.getrusage``) is recorded throughout — the point of the
+out-of-core path is that the 10M-rating workload *fits on this container* —
+and three gates make the headline claims enforceable: ``--min-ann-speedup``
+(scoring, default 5x), ``--min-recall`` (ANN top-N vs exact, default 0.95)
+and ``--max-rss-mb`` (0 disables; the CI scale-smoke job sets a ceiling).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py                  # full 10M
+    PYTHONPATH=src python benchmarks/bench_scale.py --users 2000 \\
+        --items 1500 --ratings 100000 --sample-users 256 \\
+        --chunk-size 40000 --min-ann-speedup 0 --min-recall 0        # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import resource
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.outofcore import ingest_csv, load_outofcore
+from repro.data.split import RatioSplitter
+from repro.data.synthetic import stream_ratings_csv
+from repro.pipeline import (
+    ComponentSpec,
+    DatasetSpec,
+    EvaluationSpec,
+    Pipeline,
+    PipelineSpec,
+)
+from repro.recommenders.knn import ItemKNN
+from repro.serving import compile_artifact
+
+from bench_json import write_bench_json
+
+K = 50
+SHARD_SIZE = 4096
+TRAIN_RATIO = 0.8
+SEED = 0
+
+
+def _peak_rss_mb() -> float:
+    """Process peak RSS in MB (``ru_maxrss`` is KB on Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _time(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def _recall_at_n(reference: np.ndarray, approximate: np.ndarray) -> float:
+    """Mean per-user overlap of the approximate top-N with the exact top-N."""
+    hits = 0
+    total = 0
+    for ref_row, approx_row in zip(reference, approximate):
+        ref_set = {item for item in ref_row.tolist() if item >= 0}
+        if not ref_set:
+            continue
+        hits += len(ref_set.intersection(approx_row.tolist()))
+        total += len(ref_set)
+    return hits / total if total else 1.0
+
+
+def run_benchmark(args) -> tuple[list[str], dict, dict, float]:
+    """Execute the benchmark; returns (lines, metrics, speedups, recall)."""
+    lines = [
+        "scale benchmark (out-of-core ingest + ANN retrieval)",
+        f"users={args.users} items={args.items} ratings={args.ratings} "
+        f"sample_users={args.sample_users} chunk_size={args.chunk_size} "
+        f"k={K} n={args.n}",
+        "",
+    ]
+    metrics: dict[str, float] = {}
+    rng = np.random.default_rng(SEED)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        workdir = Path(tmp)
+        csv_path = workdir / "ratings.csv"
+        gen_s, written = _time(
+            lambda: stream_ratings_csv(
+                csv_path,
+                n_users=args.users,
+                n_items=args.items,
+                target_ratings=args.ratings,
+                seed=SEED,
+                max_user_ratings=args.max_user_ratings,
+            )
+        )
+        lines.append(
+            f"generate: {written} rows in {gen_s:.1f}s "
+            f"({written / gen_s:,.0f} rows/s, {csv_path.stat().st_size >> 20} MB)"
+        )
+        metrics["generate_s"] = gen_s
+        metrics["generate_rows_per_s"] = written / gen_s
+
+        store = workdir / "store"
+        ingest_s, report = _time(
+            lambda: ingest_csv(csv_path, store, chunk_size=args.chunk_size)
+        )
+        lines.append(
+            f"ingest: {report.n_ratings} ratings -> {report.n_shards} shard(s) "
+            f"in {ingest_s:.1f}s ({report.n_ratings / ingest_s:,.0f} rows/s)"
+        )
+        metrics["ingest_s"] = ingest_s
+        metrics["ingest_rows_per_s"] = report.n_ratings / ingest_s
+
+        load_s, dataset = _time(lambda: load_outofcore(store))
+        split_s, split = _time(
+            lambda: RatioSplitter(TRAIN_RATIO, seed=SEED).split(dataset)
+        )
+        train = split.train
+        lines.append(
+            f"load (memmap): {load_s:.1f}s; split κ={TRAIN_RATIO}: {split_s:.1f}s "
+            f"({train.n_ratings} train ratings)"
+        )
+        metrics["load_s"] = load_s
+        metrics["split_s"] = split_s
+        metrics["n_train_ratings"] = train.n_ratings
+        metrics["rss_after_load_mb"] = _peak_rss_mb()
+
+        exact_fit_s, exact = _time(lambda: ItemKNN(K).fit(train))
+        lines.append(
+            f"exact fit: {exact_fit_s:.1f}s "
+            f"({train.n_ratings / exact_fit_s:,.0f} ratings/s)"
+        )
+        metrics["exact_fit_s"] = exact_fit_s
+        metrics["rss_after_exact_fit_mb"] = _peak_rss_mb()
+
+        spec = PipelineSpec(
+            recommender=ComponentSpec(
+                "itemknn", params={"k": K, "exact": False}
+            ),
+            dataset=DatasetSpec(key="scale", path=str(store)),
+            evaluation=EvaluationSpec(n=args.n),
+            seed=SEED,
+        )
+        pipeline = Pipeline(spec)
+        ann_fit_s, _ = _time(lambda: pipeline.fit(split))
+        ann = pipeline.recommender
+        lines.append(
+            f"ann fit: {ann_fit_s:.1f}s "
+            f"({train.n_ratings / ann_fit_s:,.0f} ratings/s)"
+        )
+        metrics["ann_fit_s"] = ann_fit_s
+
+        candidates = train.users_with_ratings()
+        sample = rng.choice(
+            candidates, size=min(args.sample_users, candidates.size), replace=False
+        )
+        sample.sort()
+        exact_score_s, exact_top = _time(lambda: exact.recommend_block(sample, args.n))
+        ann_score_s, ann_top = _time(lambda: ann.recommend_block(sample, args.n))
+        recall = _recall_at_n(exact_top, ann_top)
+        speedup = exact_score_s / ann_score_s if ann_score_s > 0 else float("inf")
+        lines.append(
+            f"score {sample.size} users: exact {exact_score_s:.2f}s vs "
+            f"ann {ann_score_s:.2f}s ({speedup:.1f}x), recall@{args.n} {recall:.4f}"
+        )
+        metrics["exact_score_s"] = exact_score_s
+        metrics["ann_score_s"] = ann_score_s
+        metrics["exact_score_users_per_s"] = sample.size / exact_score_s
+        metrics["ann_score_users_per_s"] = sample.size / ann_score_s
+        metrics["recall_at_n"] = recall
+        metrics["rss_after_score_mb"] = _peak_rss_mb()
+
+        if args.sketch_projections > 0:
+            sketch_fit_s, sketch = _time(
+                lambda: ItemKNN(
+                    K,
+                    exact=False,
+                    n_projections=args.sketch_projections,
+                    n_candidates=args.sketch_candidates,
+                ).fit(train)
+            )
+            sketch_score_s, sketch_top = _time(
+                lambda: sketch.recommend_block(sample, args.n)
+            )
+            sketch_recall = _recall_at_n(exact_top, sketch_top)
+            lines.append(
+                f"sketch (d={args.sketch_projections}, "
+                f"cand={args.sketch_candidates}): fit {sketch_fit_s:.1f}s, "
+                f"score {sketch_score_s:.2f}s, recall@{args.n} "
+                f"{sketch_recall:.4f} (reported, not gated)"
+            )
+            metrics["sketch_fit_s"] = sketch_fit_s
+            metrics["sketch_score_s"] = sketch_score_s
+            metrics["sketch_recall_at_n"] = sketch_recall
+            del sketch, sketch_top
+
+        # Free the dense exact state (three |I|² arrays) before the compile
+        # pass; the artifact is the ANN pipeline's product.
+        del exact, exact_top
+
+        artifact = workdir / "artifact"
+        compile_s, _ = _time(
+            lambda: compile_artifact(pipeline, artifact, shard_size=SHARD_SIZE)
+        )
+        lines.append(
+            f"compile (ann pipeline): {compile_s:.1f}s "
+            f"({train.n_users / compile_s:,.0f} users/s)"
+        )
+        metrics["compile_s"] = compile_s
+        metrics["compile_users_per_s"] = train.n_users / compile_s
+
+    metrics["peak_rss_mb"] = _peak_rss_mb()
+    lines.append(f"peak RSS: {metrics['peak_rss_mb']:,.0f} MB")
+    speedups = {"ann_score_vs_exact": speedup}
+    return lines, metrics, speedups, recall
+
+
+def main(argv=None) -> int:
+    """CLI entry point; writes the report and returns an exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--users", type=int, default=125_000)
+    parser.add_argument("--items", type=int, default=40_000)
+    parser.add_argument("--ratings", type=int, default=10_000_000)
+    parser.add_argument(
+        "--sample-users", type=int, default=2048,
+        help="users scored on both paths for the speedup/recall comparison",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=2_000_000,
+        help="rows per ingest shard (bounds ingest memory)",
+    )
+    parser.add_argument(
+        "--max-user-ratings", type=int, default=1_000,
+        help="per-user activity cap of the generated workload",
+    )
+    parser.add_argument("--n", type=int, default=10, help="top-N size compared")
+    parser.add_argument(
+        "--sketch-projections", type=int, default=128,
+        help="JL dimensionality for the sketch-mode stage (0 skips it)",
+    )
+    parser.add_argument(
+        "--sketch-candidates", type=int, default=100,
+        help="candidates per item for the sketch-mode stage",
+    )
+    parser.add_argument(
+        "--min-ann-speedup", type=float, default=5.0,
+        help="fail unless ANN scoring beats exact by this factor "
+        "(0 disables the gate; default 5.0)",
+    )
+    parser.add_argument(
+        "--min-recall", type=float, default=0.95,
+        help="fail unless ANN top-N recall vs exact reaches this "
+        "(0 disables the gate; default 0.95)",
+    )
+    parser.add_argument(
+        "--max-rss-mb", type=float, default=0.0,
+        help="fail if process peak RSS exceeds this many MB (0 disables)",
+    )
+    args = parser.parse_args(argv)
+
+    lines, metrics, speedups, recall = run_benchmark(args)
+    report = "\n".join(lines)
+    print(report)
+    output = Path(__file__).resolve().parent / "output" / "bench_scale.txt"
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(report + "\n", encoding="utf-8")
+    print(f"\nwritten to {output}")
+    write_bench_json(
+        "scale",
+        config={
+            "users": args.users,
+            "items": args.items,
+            "ratings": args.ratings,
+            "sample_users": args.sample_users,
+            "chunk_size": args.chunk_size,
+            "max_user_ratings": args.max_user_ratings,
+            "k": K,
+            "n": args.n,
+            "train_ratio": TRAIN_RATIO,
+            "sketch_projections": args.sketch_projections,
+            "sketch_candidates": args.sketch_candidates,
+        },
+        metrics=metrics,
+        speedups=speedups,
+    )
+    failed = False
+    if args.min_ann_speedup > 0 and speedups["ann_score_vs_exact"] < args.min_ann_speedup:
+        print(
+            f"FAIL: ann scoring only {speedups['ann_score_vs_exact']:.2f}x faster "
+            f"than exact (required {args.min_ann_speedup:.2f}x)"
+        )
+        failed = True
+    if args.min_recall > 0 and recall < args.min_recall:
+        print(
+            f"FAIL: ann recall@{args.n} {recall:.4f} below required "
+            f"{args.min_recall:.4f}"
+        )
+        failed = True
+    if args.max_rss_mb > 0 and metrics["peak_rss_mb"] > args.max_rss_mb:
+        print(
+            f"FAIL: peak RSS {metrics['peak_rss_mb']:,.0f} MB exceeds ceiling "
+            f"{args.max_rss_mb:,.0f} MB"
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,7 @@ from pathlib import Path
 import bench_batch_scoring
 import bench_ganc
 import bench_parallel_scaling
+import bench_scale
 import bench_serving
 import bench_simulate
 import bench_update
@@ -49,6 +50,16 @@ BENCHES: dict[str, tuple] = {
         bench_parallel_scaling,
         [],
         ["--scale", "0.1", "--jobs", "2", "--repeats", "1", "--min-speedup", "0"],
+    ),
+    "scale": (
+        bench_scale,
+        [],
+        [
+            "--users", "800", "--items", "600", "--ratings", "20000",
+            "--sample-users", "128", "--chunk-size", "8000",
+            "--sketch-projections", "64", "--sketch-candidates", "60",
+            "--min-ann-speedup", "0", "--min-recall", "0",
+        ],
     ),
     "serving": (
         bench_serving,

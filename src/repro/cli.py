@@ -522,6 +522,26 @@ def _cmd_compile_update(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    """Stream a ratings CSV into an out-of-core shard store."""
+    from repro.data.outofcore import ingest_csv
+
+    report = ingest_csv(
+        args.csv,
+        args.output,
+        chunk_size=args.chunk_size,
+        default_rating=args.rating_default,
+        append=args.append,
+    )
+    print(
+        f"ingested {report.n_new_ratings} rating(s) from {args.csv} into "
+        f"{report.directory} (revision {report.revision}): now "
+        f"{report.n_ratings} ratings, {report.n_users} users, "
+        f"{report.n_items} items in {report.n_shards} shard(s)"
+    )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Serve a compiled artifact over HTTP (with optional live fallback)."""
     if not args.async_tier:
@@ -821,6 +841,35 @@ def build_parser() -> argparse.ArgumentParser:
         "refitted and saved back in place)",
     )
     compile_cmd.set_defaults(handler=_cmd_compile)
+
+    ingest_cmd = subparsers.add_parser(
+        "ingest",
+        help="stream a user,item[,rating] CSV into an out-of-core shard "
+        "store loadable as a memmap-backed dataset (dataset.path in specs)",
+    )
+    ingest_cmd.add_argument(
+        "--csv", type=str, required=True,
+        help="ratings CSV to ingest (same format as `repro compile --delta`)",
+    )
+    ingest_cmd.add_argument(
+        "--output", type=str, required=True,
+        help="ingest-store directory (created fresh unless --append)",
+    )
+    ingest_cmd.add_argument(
+        "--chunk-size", type=_positive_int("--chunk-size"), default=1_000_000,
+        help="rows buffered per .npy shard; bounds ingest memory "
+        "(default: 1000000)",
+    )
+    ingest_cmd.add_argument(
+        "--rating-default", type=float, default=1.0,
+        help="rating assigned to two-column rows (default: 1.0)",
+    )
+    ingest_cmd.add_argument(
+        "--append", action="store_true",
+        help="add ratings to an existing store, preserving its id maps "
+        "(first-appearance dense indexing, like RatingDataset.extend)",
+    )
+    ingest_cmd.set_defaults(handler=_cmd_ingest)
 
     serve_cmd = subparsers.add_parser(
         "serve",

@@ -11,6 +11,9 @@ This subpackage implements everything the paper's Section II-A data model needs:
 * train/test splitting utilities (per-user ratio split κ, leave-k-out),
 * streaming ingestion (:mod:`repro.data.incremental`): append new rating
   triples to a split — id-map growth included — without mutating anything,
+* out-of-core stores (:mod:`repro.data.outofcore`): chunked CSV→shard
+  ingestion and memmap-backed datasets for ratings files that do not fit
+  in memory,
 * item popularity statistics and the Pareto (80/20) long-tail item set.
 """
 
@@ -20,7 +23,14 @@ from repro.data.incremental import (
     consumed_delta,
     extend_split,
     extend_split_interactions,
+    iter_rating_rows,
     read_delta_csv,
+)
+from repro.data.outofcore import (
+    IngestReport,
+    ingest_csv,
+    load_ingest_manifest,
+    load_outofcore,
 )
 from repro.data.popularity import PopularityStats, long_tail_items, compute_popularity
 from repro.data.split import (
@@ -34,6 +44,7 @@ from repro.data.synthetic import (
     SyntheticDatasetFactory,
     DATASET_PROFILES,
     make_dataset,
+    stream_ratings_csv,
 )
 from repro.data.loaders import (
     load_movielens_100k,
@@ -50,7 +61,12 @@ __all__ = [
     "consumed_delta",
     "extend_split",
     "extend_split_interactions",
+    "iter_rating_rows",
     "read_delta_csv",
+    "IngestReport",
+    "ingest_csv",
+    "load_ingest_manifest",
+    "load_outofcore",
     "PopularityStats",
     "long_tail_items",
     "compute_popularity",
@@ -62,6 +78,7 @@ __all__ = [
     "SyntheticDatasetFactory",
     "DATASET_PROFILES",
     "make_dataset",
+    "stream_ratings_csv",
     "load_movielens_100k",
     "load_movielens_dat",
     "load_movietweetings",

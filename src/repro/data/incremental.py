@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -177,37 +177,64 @@ def _coerce_id(token: str) -> object:
         return token
 
 
+def iter_rating_rows(
+    path: str | Path,
+    *,
+    default_rating: float = 1.0,
+    description: str = "ratings file",
+) -> Iterator[tuple[int, object, object, float]]:
+    """Stream ``user,item[,rating]`` rows from a CSV file, one line at a time.
+
+    Yields ``(line_number, raw_user, raw_item, rating)`` tuples without ever
+    holding the whole file in memory, which is what lets the out-of-core
+    ingestion (:mod:`repro.data.outofcore`) and the delta-CSV reader share
+    one validation path at any file size.  Blank lines and ``#`` comments are
+    skipped; a first line whose rating column does not parse as a number is
+    treated as a header and skipped; a missing rating column defaults to
+    ``default_rating``.  Malformed lines raise
+    :class:`~repro.exceptions.DataFormatError` naming the file and line, so
+    an error in the middle of a multi-gigabyte file is still pinpointed.
+    """
+    path = Path(path)
+    try:
+        handle = path.open("r", encoding="utf-8")
+    except OSError as exc:
+        raise DataFormatError(f"cannot read {description} {path}: {exc}") from exc
+    with handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = [part.strip() for part in line.split(",")]
+            if len(parts) not in (2, 3):
+                raise DataFormatError(
+                    f"{path}:{number}: expected 'user,item[,rating]', got {line!r}"
+                )
+            try:
+                rating = float(parts[2]) if len(parts) == 3 else default_rating
+            except ValueError as exc:
+                if number == 1:
+                    continue  # header line
+                raise DataFormatError(
+                    f"{path}:{number}: rating {parts[2]!r} is not a number"
+                ) from exc
+            yield number, _coerce_id(parts[0]), _coerce_id(parts[1]), rating
+
+
 def read_delta_csv(path: str | Path) -> list[tuple[object, object, float]]:
     """Read a delta file of ``user,item[,rating]`` lines (rating defaults to 1.0).
 
     A first line whose rating column does not parse as a number is treated
     as a header and skipped.  Malformed lines raise
     :class:`~repro.exceptions.DataFormatError` naming the file and line.
+    The file is streamed line-by-line (via :func:`iter_rating_rows`) rather
+    than slurped, so delta files are not size-limited by memory.
     """
     path = Path(path)
-    try:
-        text = path.read_text(encoding="utf-8")
-    except OSError as exc:
-        raise DataFormatError(f"cannot read delta file {path}: {exc}") from exc
-    records: list[tuple[object, object, float]] = []
-    for number, line in enumerate(text.splitlines(), start=1):
-        line = line.strip()
-        if not line or line.startswith("#"):
-            continue
-        parts = [part.strip() for part in line.split(",")]
-        if len(parts) not in (2, 3):
-            raise DataFormatError(
-                f"{path}:{number}: expected 'user,item[,rating]', got {line!r}"
-            )
-        try:
-            rating = float(parts[2]) if len(parts) == 3 else 1.0
-        except ValueError as exc:
-            if number == 1 and not records:
-                continue  # header line
-            raise DataFormatError(
-                f"{path}:{number}: rating {parts[2]!r} is not a number"
-            ) from exc
-        records.append((_coerce_id(parts[0]), _coerce_id(parts[1]), rating))
+    records: list[tuple[object, object, float]] = [
+        (user, item, rating)
+        for _, user, item, rating in iter_rating_rows(path, description="delta file")
+    ]
     if not records:
         raise DataFormatError(f"delta file {path} contains no interactions")
     return records

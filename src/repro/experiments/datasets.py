@@ -77,20 +77,39 @@ def load_experiment_split(
     *,
     scale: float = 1.0,
     seed: SeedLike = 0,
+    path: str | None = None,
 ) -> tuple[RatingDataset, TrainTestSplit]:
     """Generate the surrogate dataset for ``key`` and split it per the paper.
 
     Parameters
     ----------
     key:
-        Dataset registry key.
+        Dataset registry key.  With ``path`` set, an unknown key is allowed
+        and splits with the default κ=0.8 — out-of-core stores are not
+        limited to the paper's five datasets.
     scale:
         Multiplier on users/items/ratings; benches use small values so every
-        experiment fits in CI time budgets.
+        experiment fits in CI time budgets.  Ignored when ``path`` is set.
     seed:
         Seed for the train/test split (the dataset itself uses the profile
         seed so the rating data is identical across runs).
+    path:
+        Out-of-core ingest store directory (:mod:`repro.data.outofcore`).
+        When given, the store is opened memmap-backed instead of generating
+        a synthetic dataset, and split with ``key``'s κ.
     """
+    if path is not None:
+        from repro.data.outofcore import load_outofcore
+
+        dataset = load_outofcore(path)
+        if key in EXPERIMENT_DATASETS:
+            spec = EXPERIMENT_DATASETS[key]
+        else:
+            spec = ExperimentDataset(
+                key=key, title=key, profile=key,
+                train_ratio=0.8, min_user_ratings=1, dense=False,
+            )
+        return dataset, split_for_dataset(dataset, spec, seed=seed)
     if key not in EXPERIMENT_DATASETS:
         raise ConfigurationError(
             f"unknown experiment dataset {key!r}; available: {sorted(EXPERIMENT_DATASETS)}"

@@ -189,6 +189,7 @@ class Pipeline:
                 self.spec.dataset.key,
                 scale=self.spec.dataset.scale,
                 seed=self.spec.resolved_seed(self.spec.dataset.seed),
+                path=self.spec.dataset.path,
             )
         elif isinstance(data, TrainTestSplit):
             split = data

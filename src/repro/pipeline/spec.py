@@ -94,31 +94,52 @@ class ComponentSpec:
 
 @dataclass(frozen=True)
 class DatasetSpec:
-    """Which experiment dataset to load and how to split it."""
+    """Which experiment dataset to load and how to split it.
+
+    ``path`` switches the data source from the synthetic Table II surrogate
+    to an out-of-core ingest store (:mod:`repro.data.outofcore`): the store
+    at that directory is opened memmap-backed and split with the ``key``'s
+    ratio/seed protocol.  ``scale`` is ignored for stores (the data is
+    whatever was ingested).
+    """
 
     key: str = "ml100k"
     scale: float = 1.0
     seed: int | None = None
+    path: str | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.key, str) or not self.key.strip():
             raise ConfigurationError(f"dataset key must be a non-empty string, got {self.key!r}")
         if self.scale <= 0:
             raise ConfigurationError(f"dataset scale must be positive, got {self.scale}")
+        if self.path is not None and (not isinstance(self.path, str) or not self.path.strip()):
+            raise ConfigurationError(
+                f"dataset path must be a non-empty string or None, got {self.path!r}"
+            )
 
     def to_config(self) -> dict[str, Any]:
-        """Plain-dict form."""
-        return {"key": self.key, "scale": self.scale, "seed": self.seed}
+        """Plain-dict form.
+
+        ``path`` is emitted only when set: compiled serving artifacts pin
+        the sha256 of this config (``spec_sha256``), so synthetic-dataset
+        specs must serialize exactly as they did before ``path`` existed.
+        """
+        config: dict[str, Any] = {"key": self.key, "scale": self.scale, "seed": self.seed}
+        if self.path is not None:
+            config["path"] = self.path
+        return config
 
     @classmethod
     def from_config(cls, config: Mapping[str, Any]) -> "DatasetSpec":
         """Rebuild from :meth:`to_config` output."""
         config = _require_mapping(config, "dataset")
-        _check_keys(config, ("key", "scale", "seed"), "dataset")
+        _check_keys(config, ("key", "scale", "seed", "path"), "dataset")
         return cls(
             key=config.get("key", "ml100k"),
             scale=float(config.get("scale", 1.0)),
             seed=config.get("seed"),
+            path=config.get("path"),
         )
 
 

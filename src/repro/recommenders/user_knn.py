@@ -7,15 +7,30 @@ over mean-centered rating vectors.  The paper's related-work section notes
 that this family does not scale to Netflix-size data, which is also visible in
 the benchmark timings here — it is provided for completeness and for the
 examples, not as a competitive baseline.
+
+The fit is computed in user-row blocks (restricted sparse products
+``C[block] @ Cᵀ``), so the dense ``|U| x |U|`` gram matrix is never
+materialized; each block's similarity rows walk exactly the float operations
+of the original full-gram implementation, so the result is bit-identical
+(scipy evaluates restricted products with the same per-entry accumulation
+order as the full product — the same guarantee the delta-refit layer relies
+on).  Up to ``dense_similarity_limit`` users the per-row top-k graph is
+stored dense, exactly as before; beyond it the rows are collected into a
+sparse CSR matrix and the score paths switch to sparse products.
 """
 
 from __future__ import annotations
 
 import numpy as np
+from scipy import sparse
 
 from repro.data.dataset import RatingDataset
 from repro.exceptions import ConfigurationError
 from repro.recommenders.base import Recommender
+
+# User rows per fit block: bounds the blocked gram workspace to
+# ``block × n_users`` floats (×2 for the co-rating overlap counts).
+_FIT_BLOCK = 1024
 
 
 class UserKNN(Recommender):
@@ -30,9 +45,22 @@ class UserKNN(Recommender):
     min_overlap:
         Minimum number of co-rated items for a pair of users to be considered
         neighbours at all.
+    dense_similarity_limit:
+        Largest user count for which the top-k similarity graph is stored as
+        a dense ``|U| x |U|`` array (the original representation, byte-for-
+        byte).  Larger universes store the same rows as sparse CSR and score
+        through sparse products — the stored *values* are identical either
+        way; only the container changes.
     """
 
-    def __init__(self, k: int = 40, *, shrinkage: float = 10.0, min_overlap: int = 1) -> None:
+    def __init__(
+        self,
+        k: int = 40,
+        *,
+        shrinkage: float = 10.0,
+        min_overlap: int = 1,
+        dense_similarity_limit: int = 20_000,
+    ) -> None:
         super().__init__()
         if k < 1:
             raise ConfigurationError(f"k must be >= 1, got {k}")
@@ -40,16 +68,29 @@ class UserKNN(Recommender):
             raise ConfigurationError(f"shrinkage must be non-negative, got {shrinkage}")
         if min_overlap < 1:
             raise ConfigurationError(f"min_overlap must be >= 1, got {min_overlap}")
+        if dense_similarity_limit < 0:
+            raise ConfigurationError(
+                f"dense_similarity_limit must be non-negative, got "
+                f"{dense_similarity_limit}"
+            )
         self.k = int(k)
         self.shrinkage = float(shrinkage)
         self.min_overlap = int(min_overlap)
-        self.similarity_: np.ndarray | None = None
+        self.dense_similarity_limit = int(dense_similarity_limit)
+        self.similarity_: np.ndarray | sparse.csr_matrix | None = None
         self.user_means_: np.ndarray | None = None
         self._centered = None
         self._indicator = None
 
     def fit(self, train: RatingDataset) -> "UserKNN":
-        """Compute the user-user similarity matrix from mean-centered ratings."""
+        """Compute the user-user similarity graph from mean-centered ratings.
+
+        The computation runs block-by-block over user rows; per-row float
+        operations (normalization, shrinkage, overlap gate, top-k threshold
+        on ``|similarity|``) are those of the full-gram implementation, so a
+        dense-stored result is bit-identical to the historical one.
+        """
+        n_users = train.n_users
         matrix = train.to_csr().astype(np.float64)
         counts = np.diff(matrix.indptr)
         sums = np.asarray(matrix.sum(axis=1)).ravel()
@@ -57,27 +98,74 @@ class UserKNN(Recommender):
 
         centered = matrix.copy()
         # Subtract each user's mean from their observed ratings only.
-        for user in range(train.n_users):
+        for user in range(n_users):
             start, stop = centered.indptr[user], centered.indptr[user + 1]
             centered.data[start:stop] -= means[user]
 
-        gram = (centered @ centered.T).toarray()
-        norms = np.sqrt(np.maximum(np.diag(gram), 1e-12))
-        similarity = gram / (np.outer(norms, norms) + self.shrinkage)
-
-        # Zero out pairs with insufficient co-rated items.
         binary = matrix.copy()
         binary.data = np.ones_like(binary.data)
-        overlap = (binary @ binary.T).toarray()
-        similarity[overlap < self.min_overlap] = 0.0
-        np.fill_diagonal(similarity, 0.0)
+        centered_t = centered.T.tocsc()
+        binary_t = binary.T.tocsc()
 
-        if self.k < train.n_users - 1:
-            for user in range(train.n_users):
-                row = similarity[user]
-                if np.count_nonzero(row) > self.k:
-                    threshold = np.partition(np.abs(row), -self.k)[-self.k]
-                    row[np.abs(row) < threshold] = 0.0
+        # Row norms: the gram diagonal, recovered from doubly-restricted
+        # products ``C[block] @ Cᵀ[:, block]`` — scipy accumulates restricted
+        # products entry-for-entry like the full ``C @ Cᵀ``, so these are the
+        # bit-exact diagonal values without an |U|² intermediate (an
+        # elementwise square-and-sum would differ in the last ulp).
+        diagonal_blocks = []
+        for start in range(0, n_users, _FIT_BLOCK):
+            stop = min(start + _FIT_BLOCK, n_users)
+            product = (centered[start:stop] @ centered_t[:, start:stop]).toarray()
+            diagonal_blocks.append(np.asarray(product).diagonal())
+        norms = np.sqrt(np.maximum(np.concatenate(diagonal_blocks), 1e-12))
+
+        dense = n_users <= self.dense_similarity_limit
+        if dense:
+            similarity: np.ndarray | sparse.csr_matrix = np.zeros(
+                (n_users, n_users), dtype=np.float64
+            )
+        else:
+            sparse_rows: list[np.ndarray] = []
+            sparse_cols: list[np.ndarray] = []
+            sparse_vals: list[np.ndarray] = []
+
+        sparsify = self.k < n_users - 1
+        for start in range(0, n_users, _FIT_BLOCK):
+            stop = min(start + _FIT_BLOCK, n_users)
+            block = (centered[start:stop] @ centered_t).toarray()
+            block /= np.outer(norms[start:stop], norms) + self.shrinkage
+
+            # Zero out pairs with insufficient co-rated items.
+            overlap = (binary[start:stop] @ binary_t).toarray()
+            block[overlap < self.min_overlap] = 0.0
+            local = np.arange(stop - start)
+            block[local, local + start] = 0.0
+
+            if sparsify:
+                for offset in local:
+                    row = block[offset]
+                    if np.count_nonzero(row) > self.k:
+                        threshold = np.partition(np.abs(row), -self.k)[-self.k]
+                        row[np.abs(row) < threshold] = 0.0
+            if dense:
+                similarity[start:stop] = block
+            else:
+                nz_rows, nz_cols = np.nonzero(block)
+                sparse_rows.append(nz_rows + start)
+                sparse_cols.append(nz_cols)
+                sparse_vals.append(block[nz_rows, nz_cols])
+
+        if not dense:
+            similarity = sparse.csr_matrix(
+                (
+                    np.concatenate(sparse_vals) if sparse_vals else [],
+                    (
+                        np.concatenate(sparse_rows) if sparse_rows else [],
+                        np.concatenate(sparse_cols) if sparse_cols else [],
+                    ),
+                ),
+                shape=(n_users, n_users),
+            )
 
         self.similarity_ = similarity
         self.user_means_ = means
@@ -93,7 +181,10 @@ class UserKNN(Recommender):
         self._check_fitted()
         assert self.similarity_ is not None and self.user_means_ is not None
         items = np.asarray(items, dtype=np.int64)
-        weights = self.similarity_[user]
+        if sparse.issparse(self.similarity_):
+            weights = np.asarray(self.similarity_[user].toarray()).ravel()
+        else:
+            weights = self.similarity_[user]
         neighbours = np.flatnonzero(weights != 0.0)
         if neighbours.size == 0:
             return np.full(items.size, self.user_means_[user], dtype=np.float64)
@@ -120,18 +211,28 @@ class UserKNN(Recommender):
     def predict_matrix(self, users: np.ndarray | None = None) -> np.ndarray:
         """Neighbour predictions for a block of users via sparse products.
 
-        With the block's similarity rows ``W`` (dense, B x U), the deviation
-        numerator is ``W @ C`` against the cached mean-centered rating matrix
-        ``C`` and the weight mass is ``|W| @ B`` against the binary rating
-        indicator ``B``; items no neighbour rated fall back to the user mean.
+        With the block's similarity rows ``W`` (dense or sparse, B x U), the
+        deviation numerator is ``W @ C`` against the cached mean-centered
+        rating matrix ``C`` and the weight mass is ``|W| @ B`` against the
+        binary rating indicator ``B``; items no neighbour rated fall back to
+        the user mean.  Sparse similarity rows keep both products
+        sparse-sparse, so only the block's score rows are ever densified.
         """
         self._check_fitted()
         assert self.similarity_ is not None and self.user_means_ is not None
         assert self._centered is not None and self._indicator is not None
         users = self._resolve_users(users)
         weights = self.similarity_[users]
-        numerator = np.asarray(weights @ self._centered, dtype=np.float64)
-        mass = np.asarray(np.abs(weights) @ self._indicator, dtype=np.float64)
+        if sparse.issparse(weights):
+            numerator = np.asarray(
+                (weights @ self._centered).toarray(), dtype=np.float64
+            )
+            mass = np.asarray(
+                (abs(weights) @ self._indicator).toarray(), dtype=np.float64
+            )
+        else:
+            numerator = np.asarray(weights @ self._centered, dtype=np.float64)
+            mass = np.asarray(np.abs(weights) @ self._indicator, dtype=np.float64)
         deviation = np.divide(
             numerator, mass, out=np.zeros_like(numerator), where=mass > 0.0
         )

@@ -27,6 +27,7 @@ EXPECTED_DOCUMENTS = (
     "BENCH_batch_scoring.json",
     "BENCH_parallel_scaling.json",
     "BENCH_serving.json",
+    "BENCH_scale.json",
     "BENCH_simulate.json",
     "BENCH_update.json",
 )
@@ -103,6 +104,28 @@ def test_update_document_records_delta_compile_numbers():
     # unchanged shards left in place, and the update beats a full recompile.
     assert metrics["coldstart_shards_skipped"] >= 1
     assert speedups["coldstart_update_vs_scratch"] >= 2.0
+
+
+def test_scale_document_records_the_issue_gates():
+    """The committed 10M-rating numbers: throughput, speedup and recall."""
+    payload = bench_json.load_and_validate(OUTPUT_DIR / "BENCH_scale.json")
+    config = payload["config"]
+    metrics = payload["metrics"]
+    # The workload really is the 10M-rating target.
+    assert config["ratings"] >= 10_000_000
+    for key in (
+        "generate_rows_per_s",
+        "ingest_rows_per_s",
+        "exact_fit_s",
+        "ann_fit_s",
+        "compile_users_per_s",
+        "peak_rss_mb",
+    ):
+        assert metrics[key] > 0
+    # ISSUE gates: the sparse path is >=5x over exact batched scoring at
+    # scale, with recall@10 >= 0.95 against the exact top-N lists.
+    assert payload["speedups"]["ann_score_vs_exact"] >= 5.0
+    assert metrics["recall_at_n"] >= 0.95
 
 
 def test_validator_rejects_malformed_payloads():

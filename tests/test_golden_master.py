@@ -152,12 +152,45 @@ def generate_oslg_tiny() -> bytes:
     )
 
 
+def generate_sparse_knn_tiny() -> bytes:
+    """One fixed tiny sparse-KNN fit: the exact=False neighbour graph.
+
+    Pins the blocked gram scan (``ItemKNN(exact=False)``) — similarity
+    values, CSR structure and the top-5 lists it serves — on a small
+    synthetic split.  The scan is contractually bit-identical to the exact
+    dense path (asserted in ``tests/test_scale.py``), so this fixture also
+    freezes the historical exact numbers in sparse form: drift in either
+    representation fails here.
+    """
+    from repro.data.split import RatioSplitter
+    from repro.data.synthetic import make_dataset
+    from repro.recommenders.knn import ItemKNN
+
+    train = RatioSplitter(0.8, seed=SEED).split(
+        make_dataset("ml100k", scale=0.1, seed=SEED)
+    ).train
+    model = ItemKNN(10, exact=False).fit(train)
+    graph = model.similarity_
+    users = train.users_with_ratings()[:20]
+    return _as_json_bytes(
+        {
+            "n_items": int(train.n_items),
+            "nnz": int(graph.nnz),
+            "indptr": graph.indptr.tolist(),
+            "indices": graph.indices.tolist(),
+            "data": graph.data.tolist(),
+            "top5": model.recommend_block(users, 5).tolist(),
+        }
+    )
+
+
 FIXTURES = {
     "table4_ml100k.json": generate_table4,
     "figure6_ml100k.json": generate_figure6,
     "ml100k_tiny_metrics.json": generate_tiny_metrics,
     "ml100k_tiny_top5.csv": generate_tiny_top5,
     "oslg_tiny.json": generate_oslg_tiny,
+    "sparse_knn_tiny.json": generate_sparse_knn_tiny,
 }
 
 ENVIRONMENT_FILE = "environment.json"
@@ -222,6 +255,10 @@ def test_ml100k_tiny_top5_golden_master():
 
 def test_oslg_tiny_golden_master():
     _check("oslg_tiny.json")
+
+
+def test_sparse_knn_tiny_golden_master():
+    _check("sparse_knn_tiny.json")
 
 
 def regenerate() -> None:

@@ -201,5 +201,124 @@ def test_spawn_seed_sequences_are_prefix_stable(seed, count):
         )
 
 
+# --------------------------------------------------------------------------- #
+# Scale layer: chunked ingestion and sparse KNN equivalence
+# --------------------------------------------------------------------------- #
+def _random_interactions(rng: np.random.Generator, n_rows: int):
+    """Raw (user, item, rating) triples with repeats and mixed id types."""
+    rows = []
+    for _ in range(n_rows):
+        user = int(rng.integers(0, 8))
+        item = int(rng.integers(0, 10))
+        rows.append(
+            (
+                f"u{user}" if user % 2 else user,
+                f"i{item}" if item % 3 == 0 else item,
+                float(rng.integers(1, 6)),
+            )
+        )
+    return rows
+
+
+@SLOWER
+@given(
+    seed=st.integers(0, 2**16),
+    n_rows=st.integers(1, 60),
+    chunk_size=st.integers(1, 24),
+    split_point=st.integers(0, 60),
+)
+def test_chunked_ingestion_bit_identical_to_in_memory(seed, n_rows, chunk_size, split_point):
+    """Any shard size — and any one-append split — rebuilds the same dataset."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.data.outofcore import ingest_csv, load_outofcore
+
+    rows = _random_interactions(np.random.default_rng(seed), n_rows)
+    reference = RatingDataset.from_interactions(rows)
+    split_point = min(split_point, n_rows)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = Path(tmp)
+        first = tmp_path / "first.csv"
+        first.write_text(
+            "".join(f"{u},{i},{r}\n" for u, i, r in rows[:split_point]), encoding="utf-8"
+        )
+        second = tmp_path / "second.csv"
+        second.write_text(
+            "".join(f"{u},{i},{r}\n" for u, i, r in rows[split_point:]), encoding="utf-8"
+        )
+        store = tmp_path / "store"
+        if split_point:
+            ingest_csv(first, store, chunk_size=chunk_size)
+        if split_point < n_rows:
+            ingest_csv(second, store, chunk_size=chunk_size, append=bool(split_point))
+        loaded = load_outofcore(store)
+
+    assert loaded.user_ids == reference.user_ids
+    assert loaded.item_ids == reference.item_ids
+    np.testing.assert_array_equal(loaded.user_indices, reference.user_indices)
+    np.testing.assert_array_equal(loaded.item_indices, reference.item_indices)
+    np.testing.assert_array_equal(loaded.ratings, reference.ratings)
+
+
+@SLOWER
+@given(
+    seed=st.integers(0, 2**16),
+    n_users=st.integers(3, 12),
+    n_items=st.integers(4, 16),
+    n_rows=st.integers(8, 80),
+    k=st.integers(1, 6),
+)
+def test_scan_mode_item_knn_matches_exact_on_random_data(seed, n_users, n_items, n_rows, k):
+    """The blocked gram scan is the exact path in a sparse container."""
+    from scipy import sparse
+
+    from repro.recommenders.knn import ItemKNN
+
+    rng = np.random.default_rng(seed)
+    dataset = RatingDataset(
+        rng.integers(0, n_users, size=n_rows),
+        rng.integers(0, n_items, size=n_rows),
+        rng.integers(1, 6, size=n_rows).astype(np.float64),
+        n_users=n_users,
+        n_items=n_items,
+    )
+    exact = ItemKNN(k).fit(dataset)
+    scan = ItemKNN(k, exact=False).fit(dataset)
+    assert sparse.issparse(scan.similarity_)
+    np.testing.assert_array_equal(scan.similarity_.toarray(), exact.similarity_)
+    users = dataset.users_with_ratings()
+    np.testing.assert_array_equal(
+        exact.recommend_block(users, 5), scan.recommend_block(users, 5)
+    )
+
+
+@SLOWER
+@given(
+    seed=st.integers(0, 2**16),
+    n_users=st.integers(3, 12),
+    n_items=st.integers(4, 16),
+    n_rows=st.integers(8, 80),
+)
+def test_float32_scoring_stays_within_tolerance(seed, n_users, n_items, n_rows):
+    """float32 scores track float64 within the documented FLOAT32_ATOL bound."""
+    from repro.recommenders.knn import ItemKNN
+
+    FLOAT32_ATOL = 1e-4  # the documented bound; see tests/test_scale.py
+
+    rng = np.random.default_rng(seed)
+    dataset = RatingDataset(
+        rng.integers(0, n_users, size=n_rows),
+        rng.integers(0, n_items, size=n_rows),
+        rng.integers(1, 6, size=n_rows).astype(np.float64),
+        n_users=n_users,
+        n_items=n_items,
+    )
+    reference = ItemKNN(5).fit(dataset).predict_matrix()
+    scores = ItemKNN(5, dtype="float32").fit(dataset).predict_matrix()
+    assert np.max(np.abs(scores - reference)) < FLOAT32_ATOL
+
+
 if __name__ == "__main__":  # pragma: no cover
     pytest.main([__file__, "-q"])
